@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: scaling out TQ's dispatcher (paper section 6). One TQ
+ * dispatcher sustains ~14 Mrps of per-job work; for shorter requests or
+ * more cores the paper proposes multiple load-balancing dispatchers.
+ * This bench sprays Poisson arrivals over 1/2/4 dispatcher cores and
+ * measures the sustainable rate of a 64-core cluster on 0.5us jobs,
+ * where a single dispatcher is the bottleneck by construction
+ * (64 cores / 0.5us = 128 Mrps of demand capacity).
+ *
+ * Expected shape: capacity ~ min(worker capacity, K x dispatcher rate):
+ * near-linear in the number of dispatchers until workers saturate.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/dist.h"
+#include "sim/sweep.h"
+#include "sim/two_level.h"
+
+using namespace tq;
+using namespace tq::sim;
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "multi-dispatcher scaling: max rate (Mrps) with 99.9% "
+                  "slowdown <= 10, 64 cores, 0.5us jobs");
+    FixedDist dist(us(0.5));
+    std::printf("dispatchers\tmax_Mrps\n");
+    for (int d : {1, 2, 4}) {
+        TwoLevelConfig cfg;
+        cfg.num_cores = 64;
+        cfg.num_dispatchers = d;
+        cfg.quantum = us(2);
+        cfg.duration = bench::sim_duration();
+        const double cap = max_rate_under_slo(
+            [&](double rate) { return run_two_level(cfg, dist, rate); },
+            slowdown_slo(10), mrps(2), mrps(60), 8);
+        std::printf("%d\t%.1f\n", d, to_mrps(cap));
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: the probe-placement bound (max probe-free instructions) —
+ * the central tuning knob of TQ's compiler pass (section 3.1). Sweeping
+ * it exposes the overhead/accuracy trade-off: denser probes (small
+ * bound) cost more cycles but time yields more precisely; sparser
+ * probes are nearly free but can overshoot the quantum.
+ *
+ * Expected shape: overhead falls monotonically with the bound; MAE
+ * rises; the paper's operating point sits where overhead has flattened
+ * while MAE is still a small fraction of the 2us quantum.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "compiler/report.h"
+#include "progs/programs.h"
+
+using namespace tq;
+using namespace tq::compiler;
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "TQ pass probe bound sweep: overhead (%) and yield MAE "
+                  "(ns) at a 2us quantum");
+    const std::vector<int> bounds = {50, 100, 200, 400, 800, 1600};
+    const std::vector<std::string> programs = {"histogram", "cholesky",
+                                               "raytrace", "blackscholes"};
+
+    ExecConfig ecfg;
+    ecfg.quantum_cycles = 2.0 * 1e3 * ecfg.cost.cycles_per_ns;
+
+    for (const auto &name : programs) {
+        const Module m = progs::make_program(name);
+        std::printf("## %s\nbound\tovh%%\tmae_ns\tprobes\n", name.c_str());
+        for (int bound : bounds) {
+            PassConfig pcfg;
+            pcfg.bound = bound;
+            const TechniqueMetrics tm = measure_technique(
+                m, ProbeKind::TqClock, pcfg, ecfg);
+            std::printf("%d\t%.2f\t%.0f\t%d\n", bound, tm.overhead * 100,
+                        tm.mae_ns, tm.static_probes);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

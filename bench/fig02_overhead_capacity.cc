@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Paper Figure 2: maximum request rate sustaining 99.9% slowdown <= 10,
+ * vs quantum size, for preemption overheads of 0, 0.1 and 1 us
+ * (centralized PS, Extreme Bimodal, 16 cores).
+ *
+ * Expected shape: at zero overhead smaller quanta always help (~40%
+ * more capacity at 0.5us than 5us); at 0.1us overhead the gain shrinks
+ * and sub-1us quanta lose capacity; at 1us overhead anything below ~3us
+ * reduces capacity.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/dist.h"
+#include "sim/central.h"
+#include "sim/sweep.h"
+
+using namespace tq;
+using namespace tq::sim;
+
+int
+main()
+{
+    bench::banner("Figure 2",
+                  "max rate with 99.9% slowdown <= 10 vs quantum, for "
+                  "preemption overheads {0, 0.1us, 1us}");
+    auto dist = workload_table::extreme_bimodal();
+    const std::vector<double> quanta_us = {0.5, 1, 2, 3, 5, 10};
+    const std::vector<double> overheads_us = {0.0, 0.1, 1.0};
+
+    std::printf("quantum_us");
+    for (double o : overheads_us)
+        std::printf("\tov%.1fus_Mrps", o);
+    std::printf("\n");
+
+    for (double q : quanta_us) {
+        std::printf("%.1f", q);
+        for (double o : overheads_us) {
+            CentralConfig cfg;
+            cfg.quantum = us(q);
+            cfg.overheads = Overheads::ideal();
+            cfg.overheads.switch_overhead = us(o);
+            cfg.duration = bench::sim_duration();
+            const double cap = max_rate_under_slo(
+                [&](double rate) { return run_central(cfg, *dist, rate); },
+                slowdown_slo(10), mrps(0.25), mrps(6.5), 9);
+            std::printf("\t%.2f", to_mrps(cap));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

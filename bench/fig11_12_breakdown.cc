@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Paper Figures 11-12: breakdown of TQ's performance on the RocksDB
+ * 0.5%-SCAN workload. Variants (section 5.4):
+ *
+ *  - TQ-IC: the instruction-counter instrumentation replaces TQ's pass.
+ *    Its probing overhead is *measured live* by instrumenting this
+ *    repository's rocksdb-get IR with the CI pass and executing it, and
+ *    that inflation factor is applied to job service times.
+ *  - TQ-SLOW-YIELD: +1us per coroutine yield.
+ *  - TQ-TIMING: inaccurate quanta (1us for GET, 3us for SCAN).
+ *  - TQ-RAND / TQ-POWER-TWO: alternative load balancers.
+ *  - TQ-FCFS: run-to-completion workers.
+ *
+ * Expected shape (paper): at a 50us GET latency budget, TQ-IC ~62% of
+ * TQ's throughput, TQ-SLOW-YIELD ~81%, TQ-TIMING ~81%, TQ-RAND ~53%,
+ * TQ-POWER-TWO similar throughput but higher latency, TQ-FCFS ~34%.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/dist.h"
+#include "compiler/report.h"
+#include "progs/programs.h"
+#include "sim/sweep.h"
+#include "sim/two_level.h"
+
+using namespace tq;
+using namespace tq::sim;
+
+namespace {
+
+double
+measure_ci_overhead()
+{
+    // Instrument the rocksdb-get IR with the CI pass and execute it under
+    // the timing model: the probing overhead inflates TQ-IC service times.
+    compiler::PassConfig pcfg;
+    pcfg.bound = 120;
+    compiler::ExecConfig ecfg;
+    ecfg.quantum_cycles = 2.0 * 1e3 * ecfg.cost.cycles_per_ns; // 2us
+    const auto m = progs::make_rocksdb_get();
+    const auto ci = compiler::measure_technique(
+        m, compiler::ProbeKind::CiCounter, pcfg, ecfg);
+    const auto tq_pass = compiler::measure_technique(
+        m, compiler::ProbeKind::TqClock, pcfg, ecfg);
+    std::printf("# measured probing overhead on rocksdb-get IR: CI %.1f%% "
+                "(%d probes), TQ %.1f%% (%d probes)\n",
+                ci.overhead * 100, ci.static_probes, tq_pass.overhead * 100,
+                tq_pass.static_probes);
+    return ci.overhead;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figures 11-12",
+                  "TQ variant breakdown on RocksDB 0.5% SCAN: 99.9% "
+                  "sojourn (us) of GET and SCAN vs rate");
+    const double ci_overhead = measure_ci_overhead();
+
+    auto dist = workload_table::rocksdb(0.005);
+    const auto rates = rate_grid(mrps(0.4), mrps(3.3), 8);
+
+    struct Variant
+    {
+        const char *name;
+        TwoLevelConfig cfg;
+    };
+    std::vector<Variant> variants;
+    TwoLevelConfig base;
+    base.quantum = us(2);
+    base.overheads = Overheads::tq_default();
+    base.duration = bench::sim_duration();
+
+    variants.push_back({"TQ", base});
+    {
+        Variant v{"TQ-IC", base};
+        v.cfg.probe_overhead_frac = ci_overhead;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"TQ-SLOW-YIELD", base};
+        v.cfg.overheads.switch_overhead += us(1);
+        variants.push_back(v);
+    }
+    {
+        Variant v{"TQ-TIMING", base};
+        v.cfg.class_quantum = {us(1), us(3)}; // GET, SCAN
+        variants.push_back(v);
+    }
+    {
+        Variant v{"TQ-RAND", base};
+        v.cfg.lb = LbPolicy::Random;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"TQ-POWER-TWO", base};
+        v.cfg.lb = LbPolicy::PowerOfTwo;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"TQ-FCFS", base};
+        v.cfg.core_policy = CorePolicy::Fcfs;
+        variants.push_back(v);
+    }
+
+    for (const char *cls : {"GET", "SCAN"}) {
+        std::printf("## %s\nrate_mrps", cls);
+        for (const auto &v : variants)
+            std::printf("\t%s", v.name);
+        std::printf("\n");
+        for (double rate : rates) {
+            std::printf("%.2f", to_mrps(rate));
+            for (const auto &v : variants) {
+                const SimResult r = run_two_level(v.cfg, *dist, rate);
+                std::printf("\t%s",
+                            bench::cell_us(r.saturated,
+                                           r.by_class(cls).p999_sojourn)
+                                .c_str());
+            }
+            std::printf("\n");
+            std::fflush(stdout);
+        }
+    }
+
+    // Capacity summary at the paper's 50us GET latency budget.
+    std::printf("## max rate (Mrps) with GET 99.9%% sojourn <= 50us\n");
+    for (const auto &v : variants) {
+        const double cap = max_rate_under_slo(
+            [&](double rate) { return run_two_level(v.cfg, *dist, rate); },
+            class_sojourn_slo("GET", us(50)), mrps(0.2), mrps(4.2), 9);
+        std::printf("%s\t%.2f\n", v.name, to_mrps(cap));
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Microbenchmarks of TQ's real mechanisms (google-benchmark).
+ *
+ * These numbers calibrate the simulator's Overheads (DESIGN.md): the
+ * coroutine yield cost backs switch_overhead; the probe cost backs the
+ * forced-multitasking overhead model; ring and JSQ-scan costs back
+ * dispatch_cost. The paper's corresponding claims: stackful coroutine
+ * yields in tens of ns (section 3.1), probes cost a partially-hidden
+ * RDTSC, and the dispatcher does only per-job work (section 3.2).
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/cycles.h"
+#include "conc/mpmc_queue.h"
+#include "conc/spsc_ring.h"
+#include "coro/coroutine.h"
+#include "probe/probe.h"
+#include "runtime/worker_stats.h"
+
+namespace {
+
+using namespace tq;
+
+void
+BM_Rdcycles(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rdcycles());
+}
+BENCHMARK(BM_Rdcycles);
+
+void
+BM_ProbeNotExpired(benchmark::State &state)
+{
+    // The fast path every instrumented job pays at each probe site.
+    probe_state() = ProbeState{};
+    arm_quantum(~Cycles{0} >> 1);
+    for (auto _ : state)
+        tq_probe();
+    disarm_quantum();
+}
+BENCHMARK(BM_ProbeNotExpired);
+
+void
+BM_CoroutineYieldResume(benchmark::State &state)
+{
+    // One scheduler->task->scheduler round trip (two context switches):
+    // the cost of a preemption under forced multitasking.
+    Coroutine co([](Coroutine &self) {
+        for (;;)
+            self.yield();
+    });
+    for (auto _ : state)
+        co.resume();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoroutineYieldResume);
+
+void
+BM_CoroutineCreateDestroy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Coroutine co([](Coroutine &) {});
+        co.resume();
+        benchmark::DoNotOptimize(co.done());
+    }
+}
+BENCHMARK(BM_CoroutineCreateDestroy);
+
+void
+BM_SpscRingPushPop(benchmark::State &state)
+{
+    SpscRing<uint64_t> ring(1024);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        ring.push(v++);
+        benchmark::DoNotOptimize(ring.pop());
+    }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void
+BM_MpmcQueuePushPop(benchmark::State &state)
+{
+    MpmcQueue<uint64_t> q(1024);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        q.push(v++);
+        benchmark::DoNotOptimize(q.pop());
+    }
+}
+BENCHMARK(BM_MpmcQueuePushPop);
+
+void
+BM_JsqScan16Workers(benchmark::State &state)
+{
+    // The dispatcher's per-job decision: scan 16 counter cache lines for
+    // the shortest queue with MSQ tie-breaking (paper section 4).
+    runtime::WorkerStatsLine lines[16];
+    runtime::WorkerStatsReader readers[16];
+    uint64_t assigned[16] = {};
+    for (int i = 0; i < 16; ++i)
+        lines[i].finished.store(static_cast<uint32_t>(i * 3));
+    for (auto _ : state) {
+        uint64_t best_len = ~0ULL;
+        int best = 0;
+        uint32_t best_q = 0;
+        for (int i = 0; i < 16; ++i) {
+            const uint64_t len =
+                assigned[i] - readers[i].read_finished(lines[i]);
+            const uint32_t q =
+                runtime::WorkerStatsReader::read_current_quanta(lines[i]);
+            if (len < best_len || (len == best_len && q > best_q)) {
+                best_len = len;
+                best = i;
+                best_q = q;
+            }
+        }
+        benchmark::DoNotOptimize(best);
+        ++assigned[best];
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JsqScan16Workers);
+
+void
+BM_PreemptGuard(benchmark::State &state)
+{
+    probe_state() = ProbeState{};
+    for (auto _ : state) {
+        PreemptGuard guard;
+        benchmark::DoNotOptimize(&guard);
+    }
+}
+BENCHMARK(BM_PreemptGuard);
+
+} // namespace
+
+BENCHMARK_MAIN();

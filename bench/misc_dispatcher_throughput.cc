@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Paper section 6: dispatcher throughput. TQ's dispatcher does only
+ * per-job load balancing (one ring pop, one JSQ scan, one ring push) and
+ * sustains ~14 Mrps on the paper's hardware; centralized dispatchers do
+ * per-quantum work and sustain ~5 Mrps.
+ *
+ * This bench measures the *real* cost of TQ's per-job dispatch path on
+ * this machine (single-threaded: the actual instruction path, no
+ * cross-core traffic) and derives the implied dispatcher capacity; it
+ * then reports the simulator's modeled capacities for both designs.
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cycles.h"
+#include "conc/spsc_ring.h"
+#include "runtime/request.h"
+#include "runtime/worker_stats.h"
+
+using namespace tq;
+
+int
+main()
+{
+    bench::banner("Section 6", "dispatcher per-job cost and implied Mrps");
+
+    constexpr int kWorkers = 16;
+    constexpr int kIters = 2'000'000;
+    SpscRing<runtime::Request> rx(4096);
+    std::vector<std::unique_ptr<SpscRing<runtime::Request>>> worker_rings;
+    for (int w = 0; w < kWorkers; ++w)
+        worker_rings.push_back(
+            std::make_unique<SpscRing<runtime::Request>>(256));
+    std::vector<runtime::WorkerStatsLine> lines(kWorkers);
+    std::vector<runtime::WorkerStatsReader> readers(kWorkers);
+    uint64_t assigned[kWorkers] = {};
+
+    // Warm the clock calibration before timing.
+    cycles_per_ns();
+
+    const Cycles t0 = rdcycles();
+    runtime::Request req;
+    for (int i = 0; i < kIters; ++i) {
+        // RX pop (empty ring: the pop cost is still paid) + stamp.
+        (void)rx.pop();
+        req.id = static_cast<uint64_t>(i);
+        req.arrival_cycles = rdcycles();
+        // JSQ + MSQ scan over the 16 worker counter lines.
+        uint64_t best_len = ~0ULL;
+        int best = 0;
+        uint32_t best_q = 0;
+        for (int w = 0; w < kWorkers; ++w) {
+            const uint64_t len =
+                assigned[w] -
+                readers[static_cast<size_t>(w)].read_finished(
+                    lines[static_cast<size_t>(w)]);
+            const uint32_t q =
+                runtime::WorkerStatsReader::read_current_quanta(
+                    lines[static_cast<size_t>(w)]);
+            if (len < best_len || (len == best_len && q > best_q)) {
+                best_len = len;
+                best = w;
+                best_q = q;
+            }
+        }
+        // Forward into the worker ring; drain it in place so the ring
+        // never fills (consumer cost runs on worker cores in deployment).
+        worker_rings[static_cast<size_t>(best)]->push(req);
+        (void)worker_rings[static_cast<size_t>(best)]->pop();
+        ++assigned[best];
+        // Emulate the worker finishing to keep JSQ views bounded.
+        lines[static_cast<size_t>(best)].finished.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+    const double elapsed_ns = cycles_to_ns(rdcycles() - t0);
+    const double per_job_ns = elapsed_ns / kIters;
+    std::printf("TQ dispatch path: %.1f ns/job => %.1f Mrps implied "
+                "(paper reports ~14 Mrps; >> centralized ~5 Mrps)\n",
+                per_job_ns, 1e3 / per_job_ns);
+    std::printf("sim model: TQ dispatch_cost=70ns (14.3 Mrps), centralized "
+                "sched_op_cost=210ns (~4.8 Mops)\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared three-system comparison harness for paper Figures 7-10: TQ
+ * (two-level model, calibrated overheads), Shinjuku (centralized model:
+ * 1us interrupts, ~5Mops serial dispatcher, workload-specific quantum
+ * per paper section 5.1) and Caladan (FCFS + stealing, better of
+ * IOKernel and directpath modes, per section 5.1).
+ */
+#ifndef TQ_BENCH_SYSTEM_COMPARE_H
+#define TQ_BENCH_SYSTEM_COMPARE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/dist.h"
+#include "sim/caladan.h"
+#include "sim/central.h"
+#include "sim/sweep.h"
+#include "sim/two_level.h"
+
+namespace tq::bench {
+
+/** One three-system latency row per offered rate. */
+inline void
+compare_systems(const ServiceDist &dist, const std::vector<double> &rates,
+                double shinjuku_quantum_us,
+                const std::vector<std::string> &classes)
+{
+    using namespace tq::sim;
+
+    std::printf("rate_mrps");
+    for (const auto &c : classes)
+        std::printf("\tTQ_%s\tShinjuku_%s\tCaladan_%s", c.c_str(),
+                    c.c_str(), c.c_str());
+    std::printf("\n");
+
+    for (double rate : rates) {
+        TwoLevelConfig tq_cfg;
+        tq_cfg.quantum = us(2);
+        tq_cfg.overheads = Overheads::tq_default();
+        tq_cfg.duration = sim_duration();
+        const SimResult r_tq = run_two_level(tq_cfg, dist, rate);
+
+        CentralConfig sj_cfg;
+        sj_cfg.quantum = us(shinjuku_quantum_us);
+        sj_cfg.overheads = Overheads::shinjuku_default();
+        sj_cfg.duration = sim_duration();
+        const SimResult r_sj = run_central(sj_cfg, dist, rate);
+
+        // Caladan: report the better of IOKernel and directpath modes
+        // per workload point (paper section 5.1).
+        CaladanConfig ca_cfg;
+        ca_cfg.duration = sim_duration();
+        ca_cfg.directpath = false;
+        SimResult r_ca = run_caladan(ca_cfg, dist, rate);
+        ca_cfg.directpath = true;
+        SimResult r_dp = run_caladan(ca_cfg, dist, rate);
+        const bool dp_better =
+            r_ca.saturated ||
+            (!r_dp.saturated &&
+             r_dp.overall_p999_slowdown < r_ca.overall_p999_slowdown);
+        const SimResult &r_cal = dp_better ? r_dp : r_ca;
+
+        std::printf("%.2f", to_mrps(rate));
+        for (const auto &c : classes) {
+            auto fmt = [&](const SimResult &r) {
+                return cell_us(r.saturated, r.by_class(c).p999_sojourn);
+            };
+            std::printf("\t%s\t%s\t%s", fmt(r_tq).c_str(),
+                        fmt(r_sj).c_str(), fmt(r_cal).c_str());
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+}
+
+} // namespace tq::bench
+
+#endif // TQ_BENCH_SYSTEM_COMPARE_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Example: a MiniKV key-value server on Tiny Quanta (the paper's
+ * motivating application, section 5.1).
+ *
+ * Serves a GET/SCAN mix (0.5% scans, each touching thousands of
+ * entries) through the TQ runtime, then through an FCFS configuration
+ * of the same runtime, and prints the GET tail latency of both: the
+ * classic head-of-line-blocking demonstration, on the real system.
+ *
+ * Run: ./kv_server
+ */
+#include <cstdio>
+#include <memory>
+
+#include "core/tq.h"
+
+using namespace tq;
+
+namespace {
+
+constexpr uint64_t kKeys = 50'000;
+constexpr size_t kScanLen = 3'000;
+
+/** Each worker thread owns a MiniKV shard (no cross-thread mutation). */
+workloads::MiniKV &
+shard()
+{
+    // Loading happens lazily inside a probed job: suppress yields while
+    // the thread_local initializes, or a preemption mid-construction
+    // would let another task re-enter the initializer (the reentrancy
+    // hazard of paper section 6).
+    thread_local auto kv = [] {
+        PreemptGuard guard;
+        auto fresh = std::make_unique<workloads::MiniKV>(42, 100);
+        fresh->load_sequential(kKeys);
+        return fresh;
+    }();
+    return *kv;
+}
+
+/**
+ * Burst demo: one multi-ms SCAN enters first, then a wave of GETs, all
+ * on a single worker. The robust, host-independent signal is completion
+ * *order*: preemptive PS lets every GET overtake the SCAN; FCFS makes
+ * every GET wait behind it. (Open-loop latency numbers would mostly
+ * measure OS timesharing on this single-core build host.)
+ */
+struct BurstResult
+{
+    int gets_before_scan = 0;
+    int gets_total = 0;
+};
+
+BurstResult
+serve_burst(runtime::WorkPolicy policy)
+{
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.quantum_us = 2.0;
+    cfg.work = policy;
+
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        uint64_t checksum = 0;
+        if (req.job_class == 0) {
+            std::string value;
+            shard().get(req.payload % kKeys, &value);
+            checksum = value.empty() ? 0 : static_cast<uint64_t>(value[0]);
+        } else {
+            shard().scan(req.payload % kKeys, kScanLen, &checksum);
+        }
+        return checksum;
+    });
+    rt.start();
+
+    constexpr int kGets = 40;
+    auto make = [](uint64_t id, int cls, uint64_t payload) {
+        runtime::Request r;
+        r.id = id;
+        r.gen_cycles = rdcycles();
+        r.job_class = cls;
+        r.payload = payload;
+        return r;
+    };
+    rt.submit(make(999, 1, 0)); // the scan
+    for (uint64_t i = 0; i < kGets; ++i)
+        rt.submit(make(i, 0, i * 2654435761u));
+
+    std::vector<runtime::Response> responses;
+    while (responses.size() < kGets + 1) {
+        rt.drain_responses(responses);
+        std::this_thread::yield();
+    }
+    rt.stop();
+
+    Cycles scan_done = 0;
+    for (const auto &r : responses)
+        if (r.id == 999)
+            scan_done = r.done_cycles;
+    BurstResult result;
+    result.gets_total = kGets;
+    for (const auto &r : responses)
+        if (r.id != 999 && r.done_cycles < scan_done)
+            ++result.gets_before_scan;
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("MiniKV on Tiny Quanta: %llu keys; one %zu-entry SCAN "
+                "submitted first, then 40 GETs, one worker.\n",
+                static_cast<unsigned long long>(kKeys), kScanLen);
+
+    const BurstResult ps = serve_burst(runtime::WorkPolicy::ProcessorSharing);
+    const BurstResult fcfs = serve_burst(runtime::WorkPolicy::Fcfs);
+
+    std::printf("TQ (PS, 2us quanta): %d / %d GETs completed before the "
+                "SCAN\n",
+                ps.gets_before_scan, ps.gets_total);
+    std::printf("FCFS baseline:       %d / %d GETs completed before the "
+                "SCAN\n",
+                fcfs.gets_before_scan, fcfs.gets_total);
+    std::printf("=> forced multitasking preempts the SCAN inside MiniKV's "
+                "own probe sites, so point lookups never wait behind "
+                "range scans.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Example: the forced-multitasking compiler pass, end to end.
+ *
+ * Builds a small program in the mini-IR (a lookup loop calling a branchy
+ * comparator), runs TQ's probe-placement pass and the CI baseline on it,
+ * prints the instrumented IR, and executes both under the timing model
+ * to compare probing overhead and yield-timing accuracy — Table 3 in
+ * miniature, with the IR visible.
+ *
+ * Run: ./probe_compiler_demo
+ */
+#include <cstdio>
+
+#include "core/tq.h"
+
+using namespace tq;
+using namespace tq::compiler;
+
+namespace {
+
+Module
+build_demo_program()
+{
+    // A data-dependent search loop with a slow path, repeated many times.
+    FunctionBuilder fb("lookup");
+    const int entry = fb.add_block();
+    const int loop = fb.add_block();
+    const int slow = fb.add_block();
+    const int latch = fb.add_block();
+    const int exit = fb.add_block();
+    fb.ops(entry, Op::IAlu, 4);
+    fb.jump(entry, loop);
+    fb.ops(loop, Op::Load, 2).ops(loop, Op::IAlu, 3);
+    fb.branch(loop, slow, latch, 0.1);
+    fb.loop_facts(loop, std::nullopt, /*has_induction_var=*/true);
+    fb.ops(slow, Op::Load, 2).ops(slow, Op::IAlu, 6);
+    fb.jump(slow, latch);
+    fb.latch(latch, loop, exit, 200'000);
+    fb.ret(exit);
+
+    Module m;
+    m.name = "lookup-demo";
+    m.functions.push_back(fb.build());
+    validate(m);
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Module base = build_demo_program();
+    std::printf("=== original IR ===\n%s\n",
+                to_string(base.entry()).c_str());
+
+    PassConfig pcfg;
+    pcfg.bound = 200; // max probe-free instructions
+
+    Module tq_mod = base;
+    run_tq_pass(tq_mod, pcfg);
+    std::printf("=== after TQ pass (bound=%d instructions) ===\n%s\n",
+                pcfg.bound, to_string(tq_mod.entry()).c_str());
+    std::printf("TQ inserted %d probe site(s); CI inserts one per basic "
+                "block:\n",
+                tq_mod.probe_count());
+
+    Module ci_mod = base;
+    run_ci_pass(ci_mod, pcfg);
+    std::printf("CI probe sites: %d\n\n", ci_mod.probe_count());
+
+    ExecConfig ecfg;
+    ecfg.quantum_cycles = 2.0 * 1e3 * ecfg.cost.cycles_per_ns; // 2us
+    const ExecResult tq_run = execute(tq_mod, ecfg);
+    const ExecResult ci_run = execute(ci_mod, ecfg);
+
+    std::printf("                    %12s %12s\n", "TQ", "CI");
+    std::printf("probing overhead    %11.1f%% %11.1f%%\n",
+                tq_run.overhead() * 100, ci_run.overhead() * 100);
+    std::printf("yield MAE (ns)      %12.0f %12.0f\n",
+                tq_run.yield_mae_cycles / ecfg.cost.cycles_per_ns,
+                ci_run.yield_mae_cycles / ecfg.cost.cycles_per_ns);
+    std::printf("yields              %12llu %12llu\n",
+                static_cast<unsigned long long>(tq_run.yields),
+                static_cast<unsigned long long>(ci_run.yields));
+    std::printf("=> sparse physical-clock probes: less overhead, better "
+                "timing (paper section 3.1).\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Example: TPC-C style OLTP on Tiny Quanta (paper Table 1's multi-modal
+ * workload).
+ *
+ * Each worker owns one warehouse shard (thread-local TpccEmulator).
+ * Transactions range from ~6us (Payment) to ~100us-class (StockLevel),
+ * so blind preemptive scheduling matters: Payment latency must not
+ * depend on whether a StockLevel transaction happens to be in flight.
+ * Also demonstrates PreemptGuard for a short critical section.
+ *
+ * Run: ./tpcc_app
+ */
+#include <cstdio>
+
+#include "core/tq.h"
+
+using namespace tq;
+
+namespace {
+
+workloads::TpccEmulator &
+shard()
+{
+    // No yields while the thread_local constructs (its constructor runs
+    // probed seed transactions): see paper section 6 on reentrancy.
+    thread_local auto db = [] {
+        PreemptGuard guard;
+        return std::make_unique<workloads::TpccEmulator>(7);
+    }();
+    return *db;
+}
+
+} // namespace
+
+int
+main()
+{
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.quantum_us = 2.0;
+
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        Rng rng(req.payload);
+        const auto txn = static_cast<workloads::TpccTxn>(req.job_class);
+        const uint64_t result = shard().run(txn, rng);
+        {
+            // Commit point: a short non-preemptable section (paper
+            // section 4's critical-section support).
+            PreemptGuard guard;
+            // ... publish commit record (elided) ...
+        }
+        return result;
+    });
+    rt.start();
+    net::RuntimeServer server(rt);
+
+    auto dist = workload_table::tpcc();
+    net::LoadGenConfig lg;
+    lg.rate_mrps = 0.002;
+    lg.duration_sec = 1.0;
+    const net::ClientStats stats = net::run_open_loop(
+        server, *dist,
+        [](const ServiceSample &s, uint64_t id) {
+            runtime::Request req;
+            req.job_class = s.job_class; // TpccTxn index
+            req.payload = id;
+            return req;
+        },
+        lg);
+    rt.stop();
+
+    std::printf("TPC-C on Tiny Quanta (%llu transactions)\n",
+                static_cast<unsigned long long>(stats.completed));
+    std::printf("%-12s %10s %14s %14s\n", "type", "count", "mean(us)",
+                "p99.9(us)");
+    for (const auto &c : stats.classes) {
+        std::printf("%-12s %10llu %14.1f %14.1f\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.completed),
+                    c.mean_sojourn_us, c.p999_sojourn_us);
+    }
+    std::printf("=> with 2us quanta, the mean latency of the short "
+                "transaction types stays close to their service time even "
+                "though 10-100x longer types share the workers (absolute "
+                "values include OS timesharing on this host; see "
+                "bench/fig08_tpcc for calibrated cluster results).\n");
+    return 0;
+}

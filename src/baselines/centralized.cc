@@ -1,0 +1,201 @@
+#include "baselines/centralized.h"
+
+#include "common/check.h"
+#include "probe/probe.h"
+
+namespace tq::baselines {
+
+CentralizedRuntime::CentralizedRuntime(CentralizedConfig cfg,
+                                       runtime::Handler handler)
+    : cfg_(cfg),
+      handler_(std::move(handler)),
+      quantum_cycles_(ns_to_cycles(cfg.quantum_us * 1e3)),
+      interrupt_cycles_(ns_to_cycles(cfg.interrupt_us * 1e3)),
+      rx_(cfg.ring_capacity),
+      outstanding_(static_cast<size_t>(cfg.num_workers), 0)
+{
+    TQ_CHECK(cfg_.num_workers > 0);
+    TQ_CHECK(handler_);
+    for (int i = 0; i < cfg_.job_contexts; ++i) {
+        auto ctx = std::make_unique<JobCtx>();
+        JobCtx *raw = ctx.get();
+        ctx->coro = std::make_unique<Coroutine>([this, raw](Coroutine &self) {
+            for (;;) {
+                if (!raw->has_job) {
+                    self.yield();
+                    continue;
+                }
+                raw->result = handler_(raw->req);
+                raw->has_job = false;
+                raw->job_done = true;
+                self.yield();
+            }
+        });
+        free_ctx_.push_back(raw);
+        contexts_.push_back(std::move(ctx));
+    }
+    for (int w = 0; w < cfg_.num_workers; ++w) {
+        grant_.push_back(std::make_unique<SpscRing<JobCtx *>>(8));
+        give_back_.push_back(std::make_unique<SpscRing<JobCtx *>>(8));
+        tx_.push_back(
+            std::make_unique<SpscRing<runtime::Response>>(cfg.ring_capacity));
+    }
+}
+
+CentralizedRuntime::~CentralizedRuntime()
+{
+    stop();
+}
+
+void
+CentralizedRuntime::start()
+{
+    TQ_CHECK(!started_);
+    started_ = true;
+    threads_.emplace_back([this] { dispatcher_main(); });
+    for (int w = 0; w < cfg_.num_workers; ++w)
+        threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+void
+CentralizedRuntime::stop()
+{
+    if (!started_ || stop_.load())
+        return;
+    stop_.store(true);
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+bool
+CentralizedRuntime::submit(const runtime::Request &req)
+{
+    return rx_.push(req);
+}
+
+size_t
+CentralizedRuntime::drain(std::vector<runtime::Response> &out)
+{
+    size_t n = 0;
+    for (auto &ring : tx_) {
+        while (auto resp = ring->pop()) {
+            out.push_back(*resp);
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+CentralizedRuntime::dispatcher_main()
+{
+    int empty = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        bool progressed = false;
+
+        // Admit new requests into pooled job contexts.
+        while (!free_ctx_.empty()) {
+            auto req = rx_.pop();
+            if (!req)
+                break;
+            req->arrival_cycles = rdcycles();
+            JobCtx *ctx = free_ctx_.back();
+            free_ctx_.pop_back();
+            ctx->req = *req;
+            ctx->job_done = false;
+            ctx->has_job = true;
+            runq_.push_back(ctx);
+            progressed = true;
+        }
+
+        // Collect preempted / finished jobs returned by workers.
+        for (int w = 0; w < cfg_.num_workers; ++w) {
+            while (auto ctx = give_back_[static_cast<size_t>(w)]->pop()) {
+                outstanding_[static_cast<size_t>(w)] = 0;
+                if ((*ctx)->job_done)
+                    free_ctx_.push_back(*ctx); // response already sent
+                else
+                    runq_.push_back(*ctx); // PS rotation of global queue
+                progressed = true;
+            }
+        }
+
+        // Grant quanta to idle workers (the per-quantum dispatcher work
+        // that limits centralized scheduling, section 3.2).
+        for (int w = 0; w < cfg_.num_workers && !runq_.empty(); ++w) {
+            if (outstanding_[static_cast<size_t>(w)])
+                continue;
+            JobCtx *ctx = runq_.front();
+            runq_.pop_front();
+            TQ_CHECK(grant_[static_cast<size_t>(w)]->push(ctx));
+            outstanding_[static_cast<size_t>(w)] = 1;
+            grants_.fetch_add(1, std::memory_order_relaxed);
+            progressed = true;
+        }
+
+        if (!progressed) {
+            if (++empty >= 8) {
+                empty = 0;
+                std::this_thread::yield();
+            } else {
+                cpu_relax();
+            }
+        } else {
+            empty = 0;
+        }
+    }
+}
+
+void
+CentralizedRuntime::worker_main(int id)
+{
+    auto &grant = *grant_[static_cast<size_t>(id)];
+    auto &back = *give_back_[static_cast<size_t>(id)];
+    auto &tx = *tx_[static_cast<size_t>(id)];
+    int empty = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        auto ctx_opt = grant.pop();
+        if (!ctx_opt) {
+            if (++empty >= 8) {
+                empty = 0;
+                std::this_thread::yield();
+            } else {
+                cpu_relax();
+            }
+            continue;
+        }
+        empty = 0;
+        JobCtx *ctx = *ctx_opt;
+
+        bind_yield(
+            [](void *coro) { static_cast<Coroutine *>(coro)->yield(); },
+            ctx->coro.get());
+        arm_quantum(quantum_cycles_);
+        ctx->coro->resume();
+        disarm_quantum();
+
+        if (ctx->job_done) {
+            runtime::Response resp;
+            resp.id = ctx->req.id;
+            resp.gen_cycles = ctx->req.gen_cycles;
+            resp.arrival_cycles = ctx->req.arrival_cycles;
+            resp.done_cycles = rdcycles();
+            resp.job_class = ctx->req.job_class;
+            resp.worker = id;
+            resp.result = ctx->result;
+            while (!tx.push(resp))
+                std::this_thread::yield();
+        } else {
+            // Preempted: emulate the interrupt delivery + context save
+            // cost Shinjuku pays per preemption (~1us, section 1).
+            const Cycles until = rdcycles() + interrupt_cycles_;
+            while (rdcycles() < until)
+                cpu_relax();
+        }
+        while (!back.push(ctx))
+            std::this_thread::yield();
+    }
+}
+
+} // namespace tq::baselines

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shinjuku-style *centralized* preemptive runtime (paper sections 1, 2,
+ * 3.2) — the real-thread counterpart of tq::sim::run_central.
+ *
+ * One dispatcher thread owns the global run queue and hands out quanta:
+ * each grant moves a job coroutine to a worker for one quantum, then the
+ * worker returns it. Preemption is interrupt-driven in Shinjuku (Dune
+ * IPIs, ~1us delivery); here the quantum end is detected by the same
+ * probe clock but the worker *emulates the interrupt cost* by spinning
+ * for interrupt_us before handing the job back. Job coroutines migrate
+ * between cores from quantum to quantum — exactly the cache-locality
+ * cost two-level scheduling avoids (section 3.2).
+ */
+#ifndef TQ_BASELINES_CENTRALIZED_H
+#define TQ_BASELINES_CENTRALIZED_H
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "conc/mpmc_queue.h"
+#include "conc/spsc_ring.h"
+#include "coro/coroutine.h"
+#include "net/loadgen.h"
+#include "runtime/request.h"
+#include "runtime/worker.h"
+
+namespace tq::baselines {
+
+/** Configuration of the centralized baseline. */
+struct CentralizedConfig
+{
+    int num_workers = 2;
+    double quantum_us = 5.0;    ///< Shinjuku supports >= 5us (section 1)
+    double interrupt_us = 1.0;  ///< emulated interrupt cost per preemption
+    int job_contexts = 64;      ///< pooled job coroutines
+    size_t ring_capacity = 1 << 14;
+};
+
+/** A running centralized (Shinjuku-style) instance. */
+class CentralizedRuntime : public net::Server
+{
+  public:
+    CentralizedRuntime(CentralizedConfig cfg, runtime::Handler handler);
+    ~CentralizedRuntime() override;
+
+    CentralizedRuntime(const CentralizedRuntime &) = delete;
+    CentralizedRuntime &operator=(const CentralizedRuntime &) = delete;
+
+    void start();
+    void stop();
+
+    bool submit(const runtime::Request &req) override;
+    size_t drain(std::vector<runtime::Response> &out) override;
+
+    /** Quanta granted by the dispatcher (scales with 1/quantum). */
+    uint64_t grants() const { return grants_.load(); }
+
+  private:
+    struct JobCtx
+    {
+        runtime::Request req;
+        uint64_t result = 0;
+        bool has_job = false;
+        bool job_done = false;
+        std::unique_ptr<Coroutine> coro;
+    };
+
+    void dispatcher_main();
+    void worker_main(int id);
+
+    CentralizedConfig cfg_;
+    runtime::Handler handler_;
+    Cycles quantum_cycles_;
+    Cycles interrupt_cycles_;
+
+    MpmcQueue<runtime::Request> rx_;
+    std::vector<std::unique_ptr<JobCtx>> contexts_;
+    std::vector<JobCtx *> free_ctx_;
+    std::deque<JobCtx *> runq_;
+
+    /** Grant/return rings per worker (dispatcher <-> worker). */
+    std::vector<std::unique_ptr<SpscRing<JobCtx *>>> grant_;
+    std::vector<std::unique_ptr<SpscRing<JobCtx *>>> give_back_;
+    std::vector<std::unique_ptr<SpscRing<runtime::Response>>> tx_;
+    std::vector<uint8_t> outstanding_;
+
+    std::atomic<uint64_t> grants_{0};
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> threads_;
+    bool started_ = false;
+};
+
+} // namespace tq::baselines
+
+#endif // TQ_BASELINES_CENTRALIZED_H

@@ -1,0 +1,122 @@
+#include "baselines/stealing.h"
+
+#include "common/check.h"
+#include "common/cycles.h"
+#include "common/rng.h"
+#include "probe/probe.h"
+
+namespace tq::baselines {
+
+StealingRuntime::StealingRuntime(StealingConfig cfg,
+                                 runtime::Handler handler)
+    : cfg_(cfg), handler_(std::move(handler))
+{
+    TQ_CHECK(cfg_.num_workers > 0);
+    TQ_CHECK(handler_);
+    for (int w = 0; w < cfg_.num_workers; ++w) {
+        queues_.push_back(
+            std::make_unique<MpmcQueue<runtime::Request>>(cfg.ring_capacity));
+        tx_.push_back(
+            std::make_unique<SpscRing<runtime::Response>>(cfg.ring_capacity));
+    }
+}
+
+StealingRuntime::~StealingRuntime()
+{
+    stop();
+}
+
+void
+StealingRuntime::start()
+{
+    TQ_CHECK(!started_);
+    started_ = true;
+    for (int w = 0; w < cfg_.num_workers; ++w)
+        threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+void
+StealingRuntime::stop()
+{
+    if (!started_ || stop_.load())
+        return;
+    stop_.store(true);
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+bool
+StealingRuntime::submit(const runtime::Request &req)
+{
+    // RSS steering: hash the request id onto a queue (flow -> core).
+    uint64_t h = req.id * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    const size_t target = h % static_cast<uint64_t>(cfg_.num_workers);
+    runtime::Request stamped = req;
+    stamped.arrival_cycles = rdcycles();
+    return queues_[target]->push(stamped);
+}
+
+size_t
+StealingRuntime::drain(std::vector<runtime::Response> &out)
+{
+    size_t n = 0;
+    for (auto &ring : tx_) {
+        while (auto resp = ring->pop()) {
+            out.push_back(*resp);
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+StealingRuntime::worker_main(int id)
+{
+    Rng rng(cfg_.seed + static_cast<uint64_t>(id) * 7919);
+    auto &own = *queues_[static_cast<size_t>(id)];
+    auto &tx = *tx_[static_cast<size_t>(id)];
+    int empty = 0;
+
+    // No quantum: jobs run to completion (probes never fire).
+    disarm_quantum();
+
+    while (!stop_.load(std::memory_order_relaxed)) {
+        auto req = own.pop();
+        if (!req) {
+            for (int a = 0; a < cfg_.steal_attempts && !req; ++a) {
+                const size_t victim =
+                    rng.below(static_cast<uint64_t>(cfg_.num_workers));
+                if (static_cast<int>(victim) == id)
+                    continue;
+                req = queues_[victim]->pop();
+                if (req)
+                    steals_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        if (!req) {
+            if (++empty >= 8) {
+                empty = 0;
+                std::this_thread::yield();
+            } else {
+                cpu_relax();
+            }
+            continue;
+        }
+        empty = 0;
+
+        runtime::Response resp;
+        resp.id = req->id;
+        resp.gen_cycles = req->gen_cycles;
+        resp.arrival_cycles = req->arrival_cycles;
+        resp.job_class = req->job_class;
+        resp.worker = id;
+        resp.result = handler_(*req); // run to completion
+        resp.done_cycles = rdcycles();
+        while (!tx.push(resp))
+            std::this_thread::yield();
+    }
+}
+
+} // namespace tq::baselines

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Caladan-style FCFS work-stealing runtime (paper section 5.1) — the
+ * real-thread counterpart of tq::sim::run_caladan.
+ *
+ * Requests are steered to per-worker queues by a hash of the request id
+ * (RSS); workers run jobs to completion in FCFS order and steal from
+ * random victims when idle. No dispatcher thread and no preemption:
+ * exactly the design whose head-of-line blocking the paper contrasts TQ
+ * against.
+ */
+#ifndef TQ_BASELINES_STEALING_H
+#define TQ_BASELINES_STEALING_H
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "conc/mpmc_queue.h"
+#include "conc/spsc_ring.h"
+#include "net/loadgen.h"
+#include "runtime/request.h"
+#include "runtime/worker.h"
+
+namespace tq::baselines {
+
+/** Configuration of the work-stealing baseline. */
+struct StealingConfig
+{
+    int num_workers = 2;
+    int steal_attempts = 2;  ///< victims probed before backing off
+    size_t ring_capacity = 1 << 14;
+    uint64_t seed = 1;
+};
+
+/** A running FCFS work-stealing instance. */
+class StealingRuntime : public net::Server
+{
+  public:
+    StealingRuntime(StealingConfig cfg, runtime::Handler handler);
+    ~StealingRuntime() override;
+
+    StealingRuntime(const StealingRuntime &) = delete;
+    StealingRuntime &operator=(const StealingRuntime &) = delete;
+
+    void start();
+    void stop();
+
+    bool submit(const runtime::Request &req) override;
+    size_t drain(std::vector<runtime::Response> &out) override;
+
+    /** Successful steals across all workers (tests/stats). */
+    uint64_t steals() const { return steals_.load(); }
+
+  private:
+    void worker_main(int id);
+
+    StealingConfig cfg_;
+    runtime::Handler handler_;
+
+    /** Per-worker job queues. MPMC: owner pushes/pops, thieves pop. */
+    std::vector<std::unique_ptr<MpmcQueue<runtime::Request>>> queues_;
+    std::vector<std::unique_ptr<SpscRing<runtime::Response>>> tx_;
+
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> threads_;
+    bool started_ = false;
+};
+
+} // namespace tq::baselines
+
+#endif // TQ_BASELINES_STEALING_H

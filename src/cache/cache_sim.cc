@@ -1,0 +1,86 @@
+#include "cache/cache_sim.h"
+
+#include "common/check.h"
+
+namespace tq::cache {
+
+namespace {
+
+int
+log2_exact(size_t v)
+{
+    int s = 0;
+    while ((size_t{1} << s) < v)
+        ++s;
+    TQ_CHECK((size_t{1} << s) == v);
+    return s;
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(size_t capacity_bytes, int ways, int line_bytes)
+    : capacity_(capacity_bytes), ways_(ways)
+{
+    TQ_CHECK(ways > 0);
+    line_shift_ = log2_exact(static_cast<size_t>(line_bytes));
+    const size_t lines = capacity_bytes / static_cast<size_t>(line_bytes);
+    TQ_CHECK(lines % static_cast<size_t>(ways) == 0);
+    num_sets_ = lines / static_cast<size_t>(ways);
+    TQ_CHECK(num_sets_ > 0);
+    // Power-of-two sets for cheap indexing.
+    log2_exact(num_sets_);
+    ways_storage_.resize(num_sets_ * static_cast<size_t>(ways));
+}
+
+bool
+CacheLevel::access(uint64_t addr)
+{
+    const uint64_t line = addr >> line_shift_;
+    const size_t set = static_cast<size_t>(line) & (num_sets_ - 1);
+    Way *const base = &ways_storage_[set * static_cast<size_t>(ways_)];
+    ++clock_;
+
+    int victim = 0;
+    uint64_t victim_lru = ~0ULL;
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].tag == line) {
+            base[w].lru = clock_;
+            ++hits_;
+            return true;
+        }
+        if (base[w].lru < victim_lru) {
+            victim_lru = base[w].lru;
+            victim = w;
+        }
+    }
+    base[victim].tag = line;
+    base[victim].lru = clock_;
+    ++misses_;
+    return false;
+}
+
+void
+CacheLevel::clear()
+{
+    for (auto &w : ways_storage_)
+        w = Way{};
+    clock_ = hits_ = misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(CacheLatencies lat, size_t l1_bytes,
+                               int l1_ways, size_t l2_bytes, int l2_ways)
+    : lat_(lat), l1_(l1_bytes, l1_ways), l2_(l2_bytes, l2_ways)
+{
+}
+
+double
+CacheHierarchy::access(uint64_t addr)
+{
+    if (l1_.access(addr))
+        return lat_.l1_hit;
+    if (l2_.access(addr))
+        return lat_.l2_hit;
+    return lat_.memory;
+}
+
+} // namespace tq::cache

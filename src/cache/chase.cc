@@ -1,0 +1,110 @@
+#include "cache/chase.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tq::cache {
+
+namespace {
+
+/**
+ * Generates the interleaved pointer-chase access stream one address at a
+ * time: rotate over the arrays, X accesses per quantum, each array
+ * resuming its saved position in its fixed random visit order.
+ */
+class ChaseStream
+{
+  public:
+    explicit ChaseStream(const ChaseConfig &cfg) : cfg_(cfg)
+    {
+        TQ_CHECK(cfg.array_bytes >= 64);
+        const size_t lines = cfg.array_bytes / 64;
+        Rng rng(cfg.seed);
+        const int n = cfg.arrays();
+        orders_.resize(static_cast<size_t>(n));
+        positions_.assign(static_cast<size_t>(n), 0);
+        for (int a = 0; a < n; ++a) {
+            auto &order = orders_[static_cast<size_t>(a)];
+            order.resize(lines);
+            std::iota(order.begin(), order.end(), 0u);
+            // Fisher-Yates with the shared rng: fixed random iteration
+            // order per array (paper: "fix a random element iteration
+            // order").
+            for (size_t i = lines - 1; i > 0; --i) {
+                const size_t j = rng.below(i + 1);
+                std::swap(order[i], order[j]);
+            }
+        }
+        per_quantum_ = cfg.accesses_per_quantum();
+    }
+
+    /** Next address of the stream. */
+    uint64_t
+    next()
+    {
+        if (left_in_quantum_ == 0) {
+            current_ = (current_ + 1) % orders_.size();
+            left_in_quantum_ = per_quantum_;
+        }
+        --left_in_quantum_;
+        auto &order = orders_[current_];
+        size_t &pos = positions_[current_];
+        const uint64_t base =
+            (static_cast<uint64_t>(current_) + 1) << 24; // 16MB apart
+        const uint64_t addr = base + static_cast<uint64_t>(order[pos]) * 64;
+        pos = (pos + 1) % order.size();
+        return addr;
+    }
+
+  private:
+    const ChaseConfig &cfg_;
+    std::vector<std::vector<uint32_t>> orders_;
+    std::vector<size_t> positions_;
+    size_t current_ = 0;
+    uint64_t per_quantum_ = 0;
+    uint64_t left_in_quantum_ = 0;
+};
+
+} // namespace
+
+ChaseResult
+run_chase(const ChaseConfig &cfg)
+{
+    ChaseStream stream(cfg);
+    CacheHierarchy caches(cfg.latencies);
+
+    for (uint64_t i = 0; i < cfg.warmup_accesses; ++i)
+        caches.access(stream.next());
+
+    const uint64_t l1_miss0 = caches.l1().misses();
+    const uint64_t l2_miss0 = caches.l2().misses();
+    double total_ns = 0;
+    for (uint64_t i = 0; i < cfg.measured_accesses; ++i)
+        total_ns += caches.access(stream.next());
+
+    ChaseResult r;
+    r.accesses = cfg.measured_accesses;
+    r.avg_latency_ns = total_ns / static_cast<double>(cfg.measured_accesses);
+    r.l1_miss_rate =
+        static_cast<double>(caches.l1().misses() - l1_miss0) /
+        static_cast<double>(cfg.measured_accesses);
+    r.l2_miss_rate =
+        static_cast<double>(caches.l2().misses() - l2_miss0) /
+        static_cast<double>(cfg.measured_accesses);
+    return r;
+}
+
+ReuseAnalyzer
+analyze_chase_reuse(const ChaseConfig &cfg, uint64_t max_accesses)
+{
+    ChaseStream stream(cfg);
+    ReuseAnalyzer analyzer;
+    for (uint64_t i = 0; i < max_accesses; ++i)
+        analyzer.access(stream.next());
+    return analyzer;
+}
+
+} // namespace tq::cache

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's microsecond-scale cache microbenchmark (section 5.5):
+ * random pointer chasing over per-job arrays, interleaved in quanta,
+ * under two-level (TLS) or centralized (CT) scheduling.
+ *
+ * Methodology mirrors section 5.5.1: each core runs X pointer-chase
+ * accesses of an array per quantum (X sized to the target quantum), then
+ * switches to the next array, resuming each array's saved progress. TLS
+ * cores cycle over their own jobs_per_core arrays; CT cores cycle over
+ * all num_cores x jobs_per_core arrays (a job's quanta visit every
+ * core). Because the cores are symmetric, one core's private cache
+ * hierarchy is simulated and its average access latency reported —
+ * Figures 13 and 14 plot exactly this quantity.
+ */
+#ifndef TQ_CACHE_CHASE_H
+#define TQ_CACHE_CHASE_H
+
+#include <cstdint>
+
+#include "cache/cache_sim.h"
+#include "cache/reuse.h"
+#include "common/units.h"
+
+namespace tq::cache {
+
+/** Configuration of one pointer-chase run. */
+struct ChaseConfig
+{
+    size_t array_bytes = 64 * 1024; ///< per-job array size (1KB..1MB)
+    int jobs_per_core = 4;          ///< concurrent jobs per core
+    int num_cores = 16;             ///< cluster size (CT rotation width)
+    bool centralized = false;       ///< CT (true) vs TLS (false)
+    SimNanos quantum = us(2);
+
+    /** Assumed per-access time used to size X = quantum / est_access_ns,
+     *  matching the paper's "X is set to match the target quantum". */
+    double est_access_ns = 10.0;
+
+    uint64_t warmup_accesses = 100'000;
+    uint64_t measured_accesses = 400'000;
+    uint64_t seed = 1;
+
+    CacheLatencies latencies;
+
+    /** Arrays this core rotates over. */
+    int
+    arrays() const
+    {
+        return centralized ? num_cores * jobs_per_core : jobs_per_core;
+    }
+
+    /** Pointer-chase accesses per quantum. */
+    uint64_t
+    accesses_per_quantum() const
+    {
+        const double x = quantum / est_access_ns;
+        return x < 1 ? 1 : static_cast<uint64_t>(x);
+    }
+};
+
+/** Measurements of one pointer-chase run. */
+struct ChaseResult
+{
+    double avg_latency_ns = 0;
+    uint64_t accesses = 0;
+    double l1_miss_rate = 0;
+    double l2_miss_rate = 0; ///< misses at L2 / total accesses
+};
+
+/** Run the microbenchmark against the modeled cache hierarchy. */
+ChaseResult run_chase(const ChaseConfig &cfg);
+
+/**
+ * Feed the same access stream through an exact reuse-distance analyzer
+ * (Table 2's empirical check). @p max_accesses bounds the stream since
+ * Olken analysis is costlier than cache simulation.
+ */
+ReuseAnalyzer analyze_chase_reuse(const ChaseConfig &cfg,
+                                  uint64_t max_accesses);
+
+} // namespace tq::cache
+
+#endif // TQ_CACHE_CHASE_H

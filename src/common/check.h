@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Invariant-checking helpers.
+ *
+ * TQ_CHECK aborts on violated internal invariants (a bug in this library),
+ * mirroring gem5's panic(). tq::fatal() exits with an error message for
+ * conditions caused by the caller (bad configuration).
+ */
+#ifndef TQ_COMMON_CHECK_H
+#define TQ_COMMON_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tq {
+
+/**
+ * Terminate because the *user* supplied an impossible configuration.
+ * Prints the message to stderr and exits with status 1.
+ */
+[[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "tq fatal: %s\n", msg);
+    std::exit(1);
+}
+
+namespace detail {
+
+[[noreturn]] inline void
+check_failed(const char *expr, const char *file, int line)
+{
+    std::fprintf(stderr, "tq check failed: %s at %s:%d\n", expr, file, line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace tq
+
+/** Abort if @p expr is false; for internal invariants (library bugs). */
+#define TQ_CHECK(expr)                                                      \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::tq::detail::check_failed(#expr, __FILE__, __LINE__);          \
+    } while (0)
+
+/** Debug-only TQ_CHECK; compiled out when NDEBUG is defined. */
+#ifdef NDEBUG
+#define TQ_DCHECK(expr) ((void)0)
+#else
+#define TQ_DCHECK(expr) TQ_CHECK(expr)
+#endif
+
+#endif // TQ_COMMON_CHECK_H

@@ -1,0 +1,40 @@
+#include "common/cycles.h"
+
+#include <chrono>
+
+namespace tq {
+
+namespace {
+
+/**
+ * Measure TSC ticks across a fixed wall-clock window. A single ~20ms
+ * window gives well under 0.1% error on an invariant TSC, which is far
+ * tighter than any quantum tolerance the scheduler cares about.
+ */
+double
+calibrate()
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const Cycles c0 = rdcycles();
+    const auto deadline = t0 + std::chrono::milliseconds(20);
+    while (clock::now() < deadline) {
+        // spin
+    }
+    const Cycles c1 = rdcycles();
+    const auto t1 = clock::now();
+    const double elapsed_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    return static_cast<double>(c1 - c0) / elapsed_ns;
+}
+
+} // namespace
+
+double
+cycles_per_ns()
+{
+    static const double ratio = calibrate();
+    return ratio;
+}
+
+} // namespace tq

@@ -1,0 +1,112 @@
+#include "common/dist.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tq {
+
+FixedDist::FixedDist(SimNanos demand, std::string name)
+    : demand_(demand), names_{std::move(name)}
+{
+    TQ_CHECK(demand > 0);
+}
+
+ServiceSample
+FixedDist::sample(Rng &) const
+{
+    return {demand_, 0};
+}
+
+ExponentialDist::ExponentialDist(SimNanos mean)
+    : mean_(mean), names_{"exp"}
+{
+    TQ_CHECK(mean > 0);
+}
+
+ServiceSample
+ExponentialDist::sample(Rng &rng) const
+{
+    return {rng.exponential(mean_), 0};
+}
+
+MixtureDist::MixtureDist(std::vector<Component> components)
+    : components_(std::move(components))
+{
+    TQ_CHECK(!components_.empty());
+    double total = 0;
+    for (const auto &c : components_) {
+        TQ_CHECK(c.demand > 0 && c.weight > 0);
+        total += c.weight;
+    }
+    double acc = 0;
+    for (const auto &c : components_) {
+        acc += c.weight / total;
+        cumulative_.push_back(acc);
+        names_.push_back(c.name);
+        mean_ += c.demand * (c.weight / total);
+    }
+    cumulative_.back() = 1.0; // guard against rounding drift
+}
+
+ServiceSample
+MixtureDist::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    const int idx = static_cast<int>(it - cumulative_.begin());
+    return {components_[idx].demand, idx};
+}
+
+namespace workload_table {
+
+std::unique_ptr<MixtureDist>
+extreme_bimodal()
+{
+    return std::make_unique<MixtureDist>(std::vector<MixtureDist::Component>{
+        {"Short", us(0.5), 99.5},
+        {"Long", us(500), 0.5},
+    });
+}
+
+std::unique_ptr<MixtureDist>
+high_bimodal()
+{
+    return std::make_unique<MixtureDist>(std::vector<MixtureDist::Component>{
+        {"Short", us(1), 50},
+        {"Long", us(100), 50},
+    });
+}
+
+std::unique_ptr<MixtureDist>
+tpcc()
+{
+    // Runtimes and mix ratios from paper Table 1.
+    return std::make_unique<MixtureDist>(std::vector<MixtureDist::Component>{
+        {"Payment", us(5.7), 44},
+        {"OrderStatus", us(6), 4},
+        {"NewOrder", us(20), 44},
+        {"Delivery", us(88), 4},
+        {"StockLevel", us(100), 4},
+    });
+}
+
+std::unique_ptr<ExponentialDist>
+exp1()
+{
+    return std::make_unique<ExponentialDist>(us(1));
+}
+
+std::unique_ptr<MixtureDist>
+rocksdb(double scan_fraction)
+{
+    TQ_CHECK(scan_fraction > 0 && scan_fraction < 1);
+    return std::make_unique<MixtureDist>(std::vector<MixtureDist::Component>{
+        {"GET", us(1.2), 1.0 - scan_fraction},
+        {"SCAN", us(675), scan_fraction},
+    });
+}
+
+} // namespace workload_table
+} // namespace tq

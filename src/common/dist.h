@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Service-time distributions for the workloads of paper Table 1.
+ *
+ * A ServiceDist draws per-request service demands (in nanoseconds) and
+ * labels each draw with a job-class index so that experiments can report
+ * per-class tail latency (e.g. the "short" and "long" series of the
+ * bimodal figures, or TPC-C transaction types).
+ */
+#ifndef TQ_COMMON_DIST_H
+#define TQ_COMMON_DIST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace tq {
+
+/** One service-time draw: demand in nanoseconds plus its job class. */
+struct ServiceSample
+{
+    SimNanos demand;   ///< Service demand in nanoseconds.
+    int job_class;     ///< Index into ServiceDist::class_names().
+};
+
+/** Abstract source of per-request service demands. */
+class ServiceDist
+{
+  public:
+    virtual ~ServiceDist() = default;
+
+    /** Draw the next request's service demand. */
+    virtual ServiceSample sample(Rng &rng) const = 0;
+
+    /** Expected value of the demand, used to express load as utilization. */
+    virtual SimNanos mean() const = 0;
+
+    /** Human-readable names of the job classes, indexed by job_class. */
+    virtual const std::vector<std::string> &class_names() const = 0;
+};
+
+/** Degenerate distribution: every request demands exactly @p demand. */
+class FixedDist : public ServiceDist
+{
+  public:
+    explicit FixedDist(SimNanos demand, std::string name = "job");
+
+    ServiceSample sample(Rng &rng) const override;
+    SimNanos mean() const override { return demand_; }
+    const std::vector<std::string> &class_names() const override
+    {
+        return names_;
+    }
+
+  private:
+    SimNanos demand_;
+    std::vector<std::string> names_;
+};
+
+/** Exponential service times with the given mean (paper's Exp(1)). */
+class ExponentialDist : public ServiceDist
+{
+  public:
+    explicit ExponentialDist(SimNanos mean);
+
+    ServiceSample sample(Rng &rng) const override;
+    SimNanos mean() const override { return mean_; }
+    const std::vector<std::string> &class_names() const override
+    {
+        return names_;
+    }
+
+  private:
+    SimNanos mean_;
+    std::vector<std::string> names_;
+};
+
+/**
+ * Finite mixture of fixed demands: covers the Bimodal, TPC-C, and
+ * RocksDB GET/SCAN rows of paper Table 1. Class i is drawn with
+ * probability weight_i / sum(weights).
+ */
+class MixtureDist : public ServiceDist
+{
+  public:
+    struct Component
+    {
+        std::string name;   ///< Job-class label ("Short", "GET", ...).
+        SimNanos demand;    ///< Fixed service demand of this class.
+        double weight;      ///< Relative probability mass.
+    };
+
+    explicit MixtureDist(std::vector<Component> components);
+
+    ServiceSample sample(Rng &rng) const override;
+    SimNanos mean() const override { return mean_; }
+    const std::vector<std::string> &class_names() const override
+    {
+        return names_;
+    }
+
+    const std::vector<Component> &components() const { return components_; }
+
+  private:
+    std::vector<Component> components_;
+    std::vector<double> cumulative_;
+    std::vector<std::string> names_;
+    SimNanos mean_ = 0;
+};
+
+/** Factories for the exact workloads of paper Table 1. */
+namespace workload_table {
+
+/** Extreme Bimodal: 99.5% x 0.5us, 0.5% x 500us. */
+std::unique_ptr<MixtureDist> extreme_bimodal();
+/** High Bimodal: 50% x 1us, 50% x 100us. */
+std::unique_ptr<MixtureDist> high_bimodal();
+/** TPC-C transaction mix (Payment/OrderStatus/NewOrder/Delivery/StockLevel). */
+std::unique_ptr<MixtureDist> tpcc();
+/** Exponential service times with mean 1us. */
+std::unique_ptr<ExponentialDist> exp1();
+/** RocksDB-style GET/SCAN mix with the given SCAN fraction (0.005 / 0.5). */
+std::unique_ptr<MixtureDist> rocksdb(double scan_fraction);
+
+} // namespace workload_table
+} // namespace tq
+
+#endif // TQ_COMMON_DIST_H

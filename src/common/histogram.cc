@@ -1,0 +1,73 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace tq {
+
+LogHistogram::LogHistogram(uint64_t base, int num_buckets)
+    : base_(base), buckets_(static_cast<size_t>(num_buckets), 0)
+{
+    TQ_CHECK(base >= 1);
+    TQ_CHECK(num_buckets > 0 && num_buckets < 64);
+}
+
+void
+LogHistogram::add(uint64_t value, uint64_t count)
+{
+    total_ += count;
+    if (value < base_) {
+        underflow_ += count;
+        return;
+    }
+    for (int i = 0; i < num_buckets(); ++i) {
+        if (value < bucket_hi(i)) {
+            buckets_[static_cast<size_t>(i)] += count;
+            return;
+        }
+    }
+    overflow_ += count;
+}
+
+double
+LogHistogram::fraction_above(uint64_t threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t above = overflow_;
+    for (int i = 0; i < num_buckets(); ++i) {
+        if (bucket_hi(i) > threshold)
+            above += buckets_[static_cast<size_t>(i)];
+    }
+    if (threshold < base_)
+        above += underflow_;
+    return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+std::string
+LogHistogram::to_string() const
+{
+    std::string out;
+    char line[128];
+    auto emit = [&](uint64_t lo, uint64_t hi, uint64_t count) {
+        const double pct =
+            total_ ? 100.0 * static_cast<double>(count) /
+                         static_cast<double>(total_)
+                   : 0.0;
+        std::snprintf(line, sizeof(line), "%12llu - %12llu: %10llu (%5.1f%%)\n",
+                      static_cast<unsigned long long>(lo),
+                      static_cast<unsigned long long>(hi),
+                      static_cast<unsigned long long>(count), pct);
+        out += line;
+    };
+    if (underflow_)
+        emit(0, base_, underflow_);
+    for (int i = 0; i < num_buckets(); ++i)
+        emit(bucket_lo(i), bucket_hi(i), bucket_count(i));
+    if (overflow_)
+        emit(bucket_hi(num_buckets() - 1), ~0ULL, overflow_);
+    return out;
+}
+
+} // namespace tq

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Log-bucketed histogram.
+ *
+ * Used for the reuse-distance histograms of paper Figure 15 (power-of-two
+ * byte buckets) and for coarse latency summaries. Buckets are
+ * [base * 2^i, base * 2^(i+1)) with an underflow bucket below base.
+ */
+#ifndef TQ_COMMON_HISTOGRAM_H
+#define TQ_COMMON_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tq {
+
+/** Histogram over uint64 values with power-of-two bucket widths. */
+class LogHistogram
+{
+  public:
+    /**
+     * @param base lower edge of the first regular bucket (values below it
+     *     land in the underflow bucket); must be >= 1.
+     * @param num_buckets number of regular power-of-two buckets; values at
+     *     or above base * 2^num_buckets land in the overflow bucket.
+     */
+    LogHistogram(uint64_t base, int num_buckets);
+
+    /** Record one value. */
+    void add(uint64_t value, uint64_t count = 1);
+
+    /** Total number of recorded values. */
+    uint64_t total() const { return total_; }
+
+    /** Count in the underflow bucket (values < base). */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Count in the overflow bucket. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Count in regular bucket @p i. */
+    uint64_t bucket_count(int i) const { return buckets_[i]; }
+
+    /** Inclusive lower edge of regular bucket @p i. */
+    uint64_t bucket_lo(int i) const { return base_ << i; }
+
+    /** Exclusive upper edge of regular bucket @p i. */
+    uint64_t bucket_hi(int i) const { return base_ << (i + 1); }
+
+    /** Number of regular buckets. */
+    int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+    /**
+     * Fraction of recorded values strictly greater than @p threshold,
+     * resolved at bucket granularity (a bucket straddling the threshold
+     * counts as above it). Returns 0 when empty.
+     */
+    double fraction_above(uint64_t threshold) const;
+
+    /** Multi-line "lo-hi: count (pct)" rendering for reports. */
+    std::string to_string() const;
+
+  private:
+    uint64_t base_;
+    std::vector<uint64_t> buckets_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace tq
+
+#endif // TQ_COMMON_HISTOGRAM_H

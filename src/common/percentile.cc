@@ -1,0 +1,58 @@
+#include "common/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tq {
+
+size_t
+PercentileTracker::warmup_index(double warmup_fraction) const
+{
+    TQ_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+    return static_cast<size_t>(
+        std::floor(static_cast<double>(samples_.size()) * warmup_fraction));
+}
+
+double
+PercentileTracker::quantile(double q, double warmup_fraction)
+{
+    TQ_CHECK(q >= 0.0 && q <= 1.0);
+    const size_t begin = warmup_index(warmup_fraction);
+    if (begin >= samples_.size())
+        return 0.0;
+    const size_t n = samples_.size() - begin;
+    // Nearest-rank with the convention that q == 1 selects the maximum.
+    size_t rank = static_cast<size_t>(q * static_cast<double>(n));
+    if (rank >= n)
+        rank = n - 1;
+    auto first = samples_.begin() + static_cast<ptrdiff_t>(begin);
+    std::nth_element(first, first + static_cast<ptrdiff_t>(rank),
+                     samples_.end());
+    return *(first + static_cast<ptrdiff_t>(rank));
+}
+
+double
+PercentileTracker::mean(double warmup_fraction) const
+{
+    const size_t begin = warmup_index(warmup_fraction);
+    if (begin >= samples_.size())
+        return 0.0;
+    double sum = 0;
+    for (size_t i = begin; i < samples_.size(); ++i)
+        sum += samples_[i];
+    return sum / static_cast<double>(samples_.size() - begin);
+}
+
+double
+PercentileTracker::max(double warmup_fraction) const
+{
+    const size_t begin = warmup_index(warmup_fraction);
+    if (begin >= samples_.size())
+        return 0.0;
+    return *std::max_element(samples_.begin() + static_cast<ptrdiff_t>(begin),
+                             samples_.end());
+}
+
+} // namespace tq

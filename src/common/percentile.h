@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tail-latency percentile estimation.
+ *
+ * The paper reports 99.9th-percentile latency and slowdown. PercentileTracker
+ * stores samples exactly (the experiments draw a few million samples at
+ * most) and answers arbitrary quantiles via selection; it optionally
+ * discards a warm-up prefix, matching the paper's methodology of dropping
+ * the first 10% of samples (section 5.1).
+ */
+#ifndef TQ_COMMON_PERCENTILE_H
+#define TQ_COMMON_PERCENTILE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace tq {
+
+/** Exact quantile tracker over a stream of double-valued samples. */
+class PercentileTracker
+{
+  public:
+    PercentileTracker() = default;
+
+    /** Record one sample. */
+    void add(double value) { samples_.push_back(value); }
+
+    /** @return number of recorded samples. */
+    size_t count() const { return samples_.size(); }
+
+    /** @return true if no samples were recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * @return the q-quantile (q in [0, 1]) of the recorded samples,
+     * after discarding the first @p warmup_fraction of them in arrival
+     * order. Returns 0 when no samples survive the warm-up cut.
+     *
+     * Non-const: selection reorders the retained suffix in place.
+     */
+    double quantile(double q, double warmup_fraction = 0.0);
+
+    /** Arithmetic mean over the post-warm-up samples (0 when empty). */
+    double mean(double warmup_fraction = 0.0) const;
+
+    /** Largest recorded sample post warm-up (0 when empty). */
+    double max(double warmup_fraction = 0.0) const;
+
+    /** Drop all samples. */
+    void clear() { samples_.clear(); }
+
+  private:
+    size_t warmup_index(double warmup_fraction) const;
+
+    std::vector<double> samples_;
+};
+
+} // namespace tq
+
+#endif // TQ_COMMON_PERCENTILE_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fast deterministic pseudo-random number generation.
+ *
+ * Implements xoshiro256** (Blackman & Vigna), a small, fast generator with
+ * excellent statistical quality, plus the handful of variate transforms the
+ * simulator and workload generators need. Every consumer takes an explicit
+ * seed so that all experiments are reproducible.
+ */
+#ifndef TQ_COMMON_RNG_H
+#define TQ_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace tq {
+
+/** xoshiro256** pseudo-random generator with convenience variates. */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Seed via splitmix64 expansion so any 64-bit seed is acceptable. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return ~0ULL; }
+
+    /** @return the next raw 64-bit output. */
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high bits -> double mantissa.
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return uniform integer in [0, n); n must be positive. */
+    uint64_t
+    below(uint64_t n)
+    {
+        TQ_DCHECK(n > 0);
+        // Lemire's multiply-shift rejection-free mapping (slightly biased
+        // for astronomically large n; fine for simulation purposes).
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(operator()()) * n) >> 64);
+    }
+
+    /** @return exponential variate with the given mean (> 0). */
+    double
+    exponential(double mean)
+    {
+        TQ_DCHECK(mean > 0);
+        // 1 - uniform() is in (0, 1], so log() is finite.
+        return -mean * std::log1p(-uniform());
+    }
+
+    /** @return true with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace tq
+
+#endif // TQ_COMMON_RNG_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Time-unit helpers.
+ *
+ * Simulated time throughout tq::sim is carried as double nanoseconds
+ * (type alias SimNanos); these helpers make unit conversions explicit at
+ * call sites (e.g. tq::us(2.0) for a 2 microsecond quantum).
+ */
+#ifndef TQ_COMMON_UNITS_H
+#define TQ_COMMON_UNITS_H
+
+namespace tq {
+
+/** Simulated time / durations, in nanoseconds. */
+using SimNanos = double;
+
+/** @return @p v nanoseconds expressed as SimNanos. */
+constexpr SimNanos ns(double v) { return v; }
+/** @return @p v microseconds expressed as SimNanos. */
+constexpr SimNanos us(double v) { return v * 1e3; }
+/** @return @p v milliseconds expressed as SimNanos. */
+constexpr SimNanos ms(double v) { return v * 1e6; }
+/** @return @p v seconds expressed as SimNanos. */
+constexpr SimNanos sec(double v) { return v * 1e9; }
+
+/** @return nanoseconds @p v expressed in microseconds. */
+constexpr double to_us(SimNanos v) { return v / 1e3; }
+/** @return nanoseconds @p v expressed in seconds. */
+constexpr double to_sec(SimNanos v) { return v / 1e9; }
+
+/**
+ * @return offered request rate, in requests/ns, for @p mrps million
+ * requests per second. 1 Mrps == 1e6 req/s == 1e-3 req/ns.
+ */
+constexpr double mrps(double v) { return v * 1e-3; }
+
+/** @return requests/ns rate @p v expressed in Mrps. */
+constexpr double to_mrps(double v) { return v * 1e3; }
+
+} // namespace tq
+
+#endif // TQ_COMMON_UNITS_H

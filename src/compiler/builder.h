@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Convenience builder for mini-IR functions.
+ *
+ * Keeps program construction (tests, the progs benchmark suite) concise
+ * and structurally valid by construction.
+ */
+#ifndef TQ_COMPILER_BUILDER_H
+#define TQ_COMPILER_BUILDER_H
+
+#include <string>
+#include <utility>
+
+#include "compiler/ir.h"
+
+namespace tq::compiler {
+
+/** Fluent-ish builder for one Function. */
+class FunctionBuilder
+{
+  public:
+    explicit FunctionBuilder(std::string name)
+    {
+        fn_.name = std::move(name);
+    }
+
+    /** Append an empty block; returns its id. Block 0 is the entry. */
+    int
+    add_block()
+    {
+        fn_.blocks.emplace_back();
+        return fn_.num_blocks() - 1;
+    }
+
+    /** Append @p count instructions of class @p op to block @p b. */
+    FunctionBuilder &
+    ops(int b, Op op, int count)
+    {
+        for (int i = 0; i < count; ++i)
+            block(b).instrs.push_back(Instr::make(op));
+        return *this;
+    }
+
+    /** Append a typical compute mix: ALU-heavy with some memory traffic. */
+    FunctionBuilder &
+    mix(int b, int ialu, int loads, int stores, int fmul = 0, int fdiv = 0)
+    {
+        // Interleave so loads are spread through the block.
+        const int groups = std::max(1, loads);
+        for (int g = 0; g < groups; ++g) {
+            ops(b, Op::IAlu, ialu / groups);
+            if (loads)
+                ops(b, Op::Load, 1);
+            if (stores)
+                ops(b, Op::Store, stores / groups ? stores / groups : (g == 0 ? stores : 0));
+            if (fmul)
+                ops(b, Op::FMul, fmul / groups ? fmul / groups : (g == 0 ? fmul : 0));
+            if (fdiv && g == 0)
+                ops(b, Op::FDiv, fdiv);
+        }
+        return *this;
+    }
+
+    /** Append a call to function index @p callee. */
+    FunctionBuilder &
+    call(int b, int callee)
+    {
+        block(b).instrs.push_back(Instr::call(callee));
+        return *this;
+    }
+
+    /** Append a call to an uninstrumented external of @p cycles cost. */
+    FunctionBuilder &
+    ext_call(int b, double cycles)
+    {
+        block(b).instrs.push_back(Instr::external_call(cycles));
+        return *this;
+    }
+
+    FunctionBuilder &
+    jump(int b, int target)
+    {
+        block(b).term = Terminator::jump(target);
+        return *this;
+    }
+
+    FunctionBuilder &
+    branch(int b, int taken, int fallthrough, double prob)
+    {
+        BranchModel m;
+        m.kind = BranchModel::Kind::Bernoulli;
+        m.prob = prob;
+        block(b).term = Terminator::branch(taken, fallthrough, m);
+        return *this;
+    }
+
+    /**
+     * Make block @p b a loop latch: branch back to @p header for
+     * @p trips iterations per loop entry, then continue to @p exit.
+     */
+    FunctionBuilder &
+    latch(int b, int header, int exit, uint64_t trips)
+    {
+        BranchModel m;
+        m.kind = BranchModel::Kind::TripCount;
+        m.trip_count = trips;
+        block(b).term = Terminator::branch(header, exit, m);
+        return *this;
+    }
+
+    FunctionBuilder &
+    ret(int b)
+    {
+        block(b).term = Terminator::ret();
+        return *this;
+    }
+
+    /** Attach front-end loop facts to a loop header block. */
+    FunctionBuilder &
+    loop_facts(int header, std::optional<uint64_t> static_trip,
+               bool has_induction_var)
+    {
+        block(header).loop_facts.static_trip = static_trip;
+        block(header).loop_facts.has_induction_var = has_induction_var;
+        return *this;
+    }
+
+    Function build() { return std::move(fn_); }
+
+  private:
+    Block &block(int b) { return fn_.blocks.at(static_cast<size_t>(b)); }
+
+    Function fn_;
+};
+
+} // namespace tq::compiler
+
+#endif // TQ_COMPILER_BUILDER_H

@@ -1,0 +1,213 @@
+#include "compiler/cfg.h"
+
+#include <algorithm>
+
+namespace tq::compiler {
+
+Cfg::Cfg(const Function &fn)
+    : n_(fn.num_blocks()),
+      succs_(static_cast<size_t>(n_)),
+      preds_(static_cast<size_t>(n_)),
+      rpo_index_(static_cast<size_t>(n_), -1),
+      idom_(static_cast<size_t>(n_), -1),
+      header_loop_(static_cast<size_t>(n_), -1),
+      block_loop_(static_cast<size_t>(n_), -1)
+{
+    for (int b = 0; b < n_; ++b) {
+        const auto &t = fn.blocks[static_cast<size_t>(b)].term;
+        switch (t.kind) {
+          case Terminator::Kind::Jump:
+            succs_[b] = {t.target};
+            break;
+          case Terminator::Kind::Branch:
+            if (t.target == t.target_else)
+                succs_[b] = {t.target};
+            else
+                succs_[b] = {t.target, t.target_else};
+            break;
+          case Terminator::Kind::Ret:
+            break;
+        }
+    }
+    for (int b = 0; b < n_; ++b)
+        for (int s : succs_[b])
+            preds_[s].push_back(b);
+
+    compute_order();
+    compute_dominators();
+    compute_loops();
+}
+
+void
+Cfg::compute_order()
+{
+    // Iterative post-order DFS from the entry.
+    std::vector<int> post;
+    std::vector<uint8_t> state(static_cast<size_t>(n_), 0); // 0 new, 1 open
+    std::vector<std::pair<int, size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < succs_[b].size()) {
+            const int s = succs_[b][next++];
+            if (!state[s]) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < rpo_.size(); ++i)
+        rpo_index_[rpo_[i]] = static_cast<int>(i);
+}
+
+void
+Cfg::compute_dominators()
+{
+    // Cooper-Harvey-Kennedy iterative algorithm over RPO.
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_index_[a] > rpo_index_[b])
+                a = idom_[a];
+            while (rpo_index_[b] > rpo_index_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo_) {
+            if (b == 0)
+                continue;
+            int new_idom = -1;
+            for (int p : preds_[b]) {
+                if (idom_[p] < 0)
+                    continue; // predecessor not yet processed/unreachable
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom_[0] = -1; // entry has no immediate dominator
+}
+
+bool
+Cfg::dominates(int a, int b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    while (b != -1) {
+        if (a == b)
+            return true;
+        b = idom_[b];
+    }
+    return false;
+}
+
+void
+Cfg::compute_loops()
+{
+    // Find back edges (latch -> header where header dominates latch) and
+    // grow each natural loop by walking predecessors from the latch.
+    std::vector<int> headers;
+    std::vector<std::vector<int>> header_latches(static_cast<size_t>(n_));
+    for (int b = 0; b < n_; ++b) {
+        if (!reachable(b))
+            continue;
+        for (int s : succs_[b]) {
+            if (dominates(s, b)) {
+                if (header_latches[s].empty())
+                    headers.push_back(s);
+                header_latches[s].push_back(b);
+            }
+        }
+    }
+
+    for (int h : headers) {
+        LoopInfo loop;
+        loop.header = h;
+        loop.latches = header_latches[h];
+        loop.body.assign(static_cast<size_t>(n_), false);
+        loop.body[h] = true;
+        std::vector<int> work;
+        for (int latch : loop.latches) {
+            if (!loop.body[latch]) {
+                loop.body[latch] = true;
+                work.push_back(latch);
+            }
+        }
+        while (!work.empty()) {
+            const int b = work.back();
+            work.pop_back();
+            for (int p : preds_[b]) {
+                if (reachable(p) && !loop.body[p]) {
+                    loop.body[p] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting: loop A is inside B iff B contains A's header and A != B.
+    // Depth = number of enclosing loops + 1; parent = smallest enclosing.
+    const int k = static_cast<int>(loops_.size());
+    auto size_of = [&](int i) {
+        return std::count(loops_[i].body.begin(), loops_[i].body.end(), true);
+    };
+    for (int a = 0; a < k; ++a) {
+        long best_size = -1;
+        for (int b = 0; b < k; ++b) {
+            if (a == b || !loops_[b].contains(loops_[a].header))
+                continue;
+            ++loops_[a].depth;
+            const long sz = size_of(b);
+            if (best_size < 0 || sz < best_size) {
+                best_size = sz;
+                loops_[a].parent = b;
+            }
+        }
+    }
+
+    // Innermost-first ordering (deepest first); stable for determinism.
+    std::vector<int> order(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return loops_[a].depth > loops_[b].depth;
+    });
+    std::vector<LoopInfo> sorted;
+    std::vector<int> new_index(static_cast<size_t>(k));
+    for (int i : order) {
+        new_index[i] = static_cast<int>(sorted.size());
+        sorted.push_back(loops_[i]);
+    }
+    for (auto &loop : sorted)
+        if (loop.parent >= 0)
+            loop.parent = new_index[loop.parent];
+    loops_ = std::move(sorted);
+
+    for (int i = 0; i < k; ++i)
+        header_loop_[loops_[i].header] = i;
+    // Innermost loop of each block: first match in innermost-first order.
+    for (int b = 0; b < n_; ++b) {
+        for (int i = 0; i < k; ++i) {
+            if (loops_[i].contains(b)) {
+                block_loop_[b] = i;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace tq::compiler

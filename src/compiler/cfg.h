@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Control-flow-graph analyses over the mini-IR: predecessors, reverse
+ * post-order, dominator tree, and natural-loop detection. These stand in
+ * for the LLVM analyses (LoopSimplify / dominators) the paper's pass runs
+ * on the simplified IR before inserting probes (section 4).
+ */
+#ifndef TQ_COMPILER_CFG_H
+#define TQ_COMPILER_CFG_H
+
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace tq::compiler {
+
+/** One natural loop (merged over back edges sharing a header). */
+struct LoopInfo
+{
+    int header = -1;              ///< loop header block
+    std::vector<int> latches;     ///< blocks with back edges to the header
+    std::vector<bool> body;       ///< body[b]: block b belongs to this loop
+    int depth = 1;                ///< nesting depth (1 = outermost)
+    int parent = -1;              ///< index of the enclosing loop, or -1
+
+    bool contains(int block) const { return body[static_cast<size_t>(block)]; }
+};
+
+/** CFG facts for one function; construct once, query cheaply. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    /** Successor block ids of @p b (0, 1 or 2 entries). */
+    const std::vector<int> &succs(int b) const { return succs_[b]; }
+
+    /** Predecessor block ids of @p b. */
+    const std::vector<int> &preds(int b) const { return preds_[b]; }
+
+    /** Blocks in reverse post-order from the entry (unreachable omitted). */
+    const std::vector<int> &rpo() const { return rpo_; }
+
+    /** True if block @p b is reachable from the entry. */
+    bool reachable(int b) const { return rpo_index_[b] >= 0; }
+
+    /** Immediate dominator of @p b (-1 for the entry / unreachable). */
+    int idom(int b) const { return idom_[b]; }
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(int a, int b) const;
+
+    /**
+     * Natural loops, innermost-first (children before parents), which is
+     * the order the TQ pass instruments them in.
+     */
+    const std::vector<LoopInfo> &loops() const { return loops_; }
+
+    /** Index into loops() of the innermost loop headed by @p b, or -1. */
+    int loop_with_header(int b) const { return header_loop_[b]; }
+
+    /** Innermost loop containing block @p b, or -1. */
+    int innermost_loop_of(int b) const { return block_loop_[b]; }
+
+  private:
+    void compute_order();
+    void compute_dominators();
+    void compute_loops();
+
+    int n_;
+    std::vector<std::vector<int>> succs_;
+    std::vector<std::vector<int>> preds_;
+    std::vector<int> rpo_;
+    std::vector<int> rpo_index_;  ///< -1 when unreachable
+    std::vector<int> idom_;
+    std::vector<LoopInfo> loops_;
+    std::vector<int> header_loop_;
+    std::vector<int> block_loop_;
+};
+
+} // namespace tq::compiler
+
+#endif // TQ_COMPILER_CFG_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine cost model for the mini-IR timing executor.
+ *
+ * Loads have a hit/miss latency mixture — the variable-duration
+ * instructions the paper singles out as the reason instruction-counter
+ * approaches translate cycles to instruction counts inaccurately
+ * (section 3.1). Probe costs follow the paper's measurements: a lone
+ * RDTSC is 20-40 cycles but overlaps with surrounding out-of-order
+ * execution, so its *effective* cost at a sparse probe site is far lower;
+ * a counter probe is a couple of ALU ops but must be placed densely.
+ */
+#ifndef TQ_COMPILER_COST_MODEL_H
+#define TQ_COMPILER_COST_MODEL_H
+
+#include "compiler/ir.h"
+
+namespace tq::compiler {
+
+/** Cycle costs of IR operations and instrumentation gadgets. */
+struct CostModel
+{
+    // Real-instruction base costs (cycles).
+    double ialu = 1;
+    double imul = 3;
+    double falu = 3;
+    double fmul = 4;
+    double fdiv = 18;
+    double store = 1;
+    double load_hit = 2;
+    double load_miss = 60;
+    double load_miss_rate = 0.03;  ///< fraction of loads missing the caches
+    double call_overhead = 2;      ///< call/ret bookkeeping
+
+    // Instrumentation costs (cycles).
+    double tq_probe = 7;       ///< effective overlapped RDTSC + compare
+    double ci_probe = 2;       ///< counter add + compare + branch
+    double ci_cycles_extra = 10; ///< RDTSC issued when the CI gate fires
+    double loop_counter = 2;   ///< per-iteration iteration-counter upkeep
+    double loop_induction = 1; ///< per-iteration induction-variable compare
+
+    // Machine frequency for cycle <-> ns conversions in reports.
+    double cycles_per_ns = 2.1;  ///< the paper's 2.1 GHz Xeon
+
+    /** Expected (mean) cost of one instruction of class @p op. */
+    double
+    expected(Op op) const
+    {
+        switch (op) {
+          case Op::IAlu: return ialu;
+          case Op::IMul: return imul;
+          case Op::FAlu: return falu;
+          case Op::FMul: return fmul;
+          case Op::FDiv: return fdiv;
+          case Op::Store: return store;
+          case Op::Load:
+            return load_hit * (1 - load_miss_rate) +
+                   load_miss * load_miss_rate;
+          case Op::Call: return call_overhead;
+          case Op::Probe: return 0; // costed by probe kind, not here
+        }
+        return 0;
+    }
+};
+
+} // namespace tq::compiler
+
+#endif // TQ_COMPILER_COST_MODEL_H

@@ -1,0 +1,130 @@
+#include "compiler/ir.h"
+
+#include <cstdio>
+
+namespace tq::compiler {
+
+namespace {
+
+const char *
+op_name(Op op)
+{
+    switch (op) {
+      case Op::IAlu: return "ialu";
+      case Op::IMul: return "imul";
+      case Op::FAlu: return "falu";
+      case Op::FMul: return "fmul";
+      case Op::FDiv: return "fdiv";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::Call: return "call";
+      case Op::Probe: return "probe";
+    }
+    return "?";
+}
+
+const char *
+probe_name(ProbeKind k)
+{
+    switch (k) {
+      case ProbeKind::None: return "none";
+      case ProbeKind::TqClock: return "tq_clock";
+      case ProbeKind::CiCounter: return "ci_counter";
+      case ProbeKind::CiCycles: return "ci_cycles";
+      case ProbeKind::TqLoopGuard: return "tq_loop_guard";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+validate(const Module &m)
+{
+    TQ_CHECK(!m.functions.empty());
+    for (const auto &f : m.functions) {
+        TQ_CHECK(!f.blocks.empty());
+        for (const auto &b : f.blocks) {
+            const auto check_target = [&](int t) {
+                TQ_CHECK(t >= 0 && t < f.num_blocks());
+            };
+            switch (b.term.kind) {
+              case Terminator::Kind::Jump:
+                check_target(b.term.target);
+                break;
+              case Terminator::Kind::Branch:
+                check_target(b.term.target);
+                check_target(b.term.target_else);
+                if (b.term.model.kind == BranchModel::Kind::TripCount)
+                    TQ_CHECK(b.term.model.trip_count >= 1);
+                else
+                    TQ_CHECK(b.term.model.prob >= 0 &&
+                             b.term.model.prob <= 1);
+                break;
+              case Terminator::Kind::Ret:
+                break;
+            }
+            for (const auto &i : b.instrs) {
+                if (i.op == Op::Call && i.callee >= 0) {
+                    TQ_CHECK(i.callee <
+                             static_cast<int>(m.functions.size()));
+                }
+                if (i.op == Op::Probe)
+                    TQ_CHECK(i.probe != ProbeKind::None);
+                else
+                    TQ_CHECK(i.probe == ProbeKind::None);
+            }
+        }
+    }
+}
+
+std::string
+to_string(const Function &f)
+{
+    std::string out = "function " + f.name + "\n";
+    char buf[128];
+    for (int b = 0; b < f.num_blocks(); ++b) {
+        std::snprintf(buf, sizeof(buf), "  bb%d:\n", b);
+        out += buf;
+        for (const auto &i : f.blocks[b].instrs) {
+            if (i.is_probe()) {
+                std::snprintf(buf, sizeof(buf), "    probe(%s",
+                              probe_name(i.probe));
+                out += buf;
+                if (i.probe == ProbeKind::TqLoopGuard) {
+                    std::snprintf(buf, sizeof(buf), ", period=%u", i.period);
+                    out += buf;
+                } else if (i.ci_increment) {
+                    std::snprintf(buf, sizeof(buf), ", inc=%u",
+                                  i.ci_increment);
+                    out += buf;
+                }
+                out += ")\n";
+            } else if (i.op == Op::Call) {
+                std::snprintf(buf, sizeof(buf), "    call %d\n", i.callee);
+                out += buf;
+            } else {
+                std::snprintf(buf, sizeof(buf), "    %s\n", op_name(i.op));
+                out += buf;
+            }
+        }
+        const auto &t = f.blocks[b].term;
+        switch (t.kind) {
+          case Terminator::Kind::Jump:
+            std::snprintf(buf, sizeof(buf), "    jump bb%d\n", t.target);
+            out += buf;
+            break;
+          case Terminator::Kind::Branch:
+            std::snprintf(buf, sizeof(buf), "    br bb%d bb%d\n", t.target,
+                          t.target_else);
+            out += buf;
+            break;
+          case Terminator::Kind::Ret:
+            out += "    ret\n";
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace tq::compiler

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Miniature compiler IR for probe instrumentation research.
+ *
+ * The paper implements its probe-placement algorithm as an LLVM pass
+ * (section 4). This repository reproduces the *algorithm* on a compact IR
+ * with exactly the structural features the algorithm cares about: basic
+ * blocks, conditional control flow, natural loops (optionally with
+ * statically-known trip counts and recognizable induction variables), and
+ * calls to instrumented or external functions.
+ *
+ * Instructions carry no data semantics — only opcode classes with a cycle
+ * cost model — because probe placement and timing accuracy depend on
+ * control-flow shape and instruction latency variability, not on values.
+ * Branch outcomes are modeled explicitly (trip counts / probabilities) so
+ * the timing executor can run programs deterministically per seed.
+ */
+#ifndef TQ_COMPILER_IR_H
+#define TQ_COMPILER_IR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tq::compiler {
+
+/** Instruction opcode classes, each with a cost model entry. */
+enum class Op : uint8_t {
+    IAlu,    ///< integer ALU op (add/sub/logic/cmp)
+    IMul,    ///< integer multiply
+    FAlu,    ///< floating add/sub
+    FMul,    ///< floating multiply
+    FDiv,    ///< floating divide (long latency)
+    Load,    ///< memory load — *variable* latency (hit/miss mixture)
+    Store,   ///< memory store
+    Call,    ///< call to another function (instrumented or external)
+    Probe,   ///< instrumentation site inserted by a pass
+};
+
+/** Kinds of instrumentation sites a pass can insert. */
+enum class ProbeKind : uint8_t {
+    None,          ///< not a probe
+    TqClock,       ///< TQ: read physical clock, yield if quantum expired
+    CiCounter,     ///< CI: counter += increment; yield if counter >= target
+    CiCycles,      ///< CI-Cycles: CI counter gate, then clock check
+    TqLoopGuard,   ///< TQ loop gadget: fires the clock probe every `period`
+                   ///< iterations; per-iteration bookkeeping cost depends
+                   ///< on the chosen loop optimization
+};
+
+/** Per-iteration bookkeeping flavor of a TqLoopGuard (paper section 3.1). */
+enum class LoopGadget : uint8_t {
+    Counter,    ///< maintain an iteration counter (add + cmp per iteration)
+    Induction,  ///< reuse an existing induction variable (cmp per iteration)
+    Cloned,     ///< self-loop cloning: runtime-selected instrumented copy,
+                ///< no per-iteration cost when the trip count is short
+};
+
+/** One IR instruction. */
+struct Instr
+{
+    Op op = Op::IAlu;
+
+    // -- Call fields --
+    int callee = -1;        ///< Call: index into Module::functions, or -1
+    double ext_cost = 0;    ///< Call with callee == -1: estimated cycles
+
+    // -- Probe fields --
+    ProbeKind probe = ProbeKind::None;
+    uint32_t ci_increment = 0;  ///< CiCounter/CiCycles: instructions counted
+    uint32_t period = 1;        ///< TqLoopGuard: fire every `period` iters
+    LoopGadget gadget = LoopGadget::Counter; ///< TqLoopGuard flavor
+    uint32_t stretch_hint = 0;  ///< TqLoopGuard: longest per-iteration
+                                ///< probe-free path of the guarded loop
+                                ///< (recorded by the pass for analyses)
+
+    /** Convenience constructors. */
+    static Instr make(Op op) { return Instr{.op = op}; }
+
+    static Instr
+    call(int callee_index)
+    {
+        Instr i;
+        i.op = Op::Call;
+        i.callee = callee_index;
+        return i;
+    }
+
+    static Instr
+    external_call(double estimated_cycles)
+    {
+        Instr i;
+        i.op = Op::Call;
+        i.callee = -1;
+        i.ext_cost = estimated_cycles;
+        return i;
+    }
+
+    static Instr
+    make_probe(ProbeKind kind, uint32_t ci_increment = 0)
+    {
+        Instr i;
+        i.op = Op::Probe;
+        i.probe = kind;
+        i.ci_increment = ci_increment;
+        return i;
+    }
+
+    static Instr
+    loop_guard(uint32_t period, LoopGadget gadget, uint32_t stretch_hint)
+    {
+        Instr i;
+        i.op = Op::Probe;
+        i.probe = ProbeKind::TqLoopGuard;
+        i.period = period;
+        i.gadget = gadget;
+        i.stretch_hint = stretch_hint;
+        return i;
+    }
+
+    bool is_probe() const { return op == Op::Probe; }
+};
+
+/** How the executor decides a conditional branch. */
+struct BranchModel
+{
+    enum class Kind : uint8_t {
+        Bernoulli,  ///< take `taken` with probability `prob` each visit
+        TripCount,  ///< loop latch: take back edge trip_count-1 times per
+                    ///< loop entry, then fall through (deterministic)
+    };
+
+    Kind kind = Kind::Bernoulli;
+    double prob = 0.5;          ///< Bernoulli: P(take target_taken)
+    uint64_t trip_count = 1;    ///< TripCount: iterations per loop entry
+};
+
+/** Block terminator. */
+struct Terminator
+{
+    enum class Kind : uint8_t { Jump, Branch, Ret };
+
+    Kind kind = Kind::Ret;
+    int target = -1;        ///< Jump target; Branch: taken target
+    int target_else = -1;   ///< Branch: fall-through target
+    BranchModel model;      ///< Branch decision model
+
+    static Terminator ret() { return Terminator{}; }
+
+    static Terminator
+    jump(int target)
+    {
+        Terminator t;
+        t.kind = Kind::Jump;
+        t.target = target;
+        return t;
+    }
+
+    static Terminator
+    branch(int taken, int fallthrough, BranchModel model)
+    {
+        Terminator t;
+        t.kind = Kind::Branch;
+        t.target = taken;
+        t.target_else = fallthrough;
+        t.model = model;
+        return t;
+    }
+};
+
+/**
+ * Loop-analysis facts the front end is assumed to know (stands in for
+ * LLVM's ScalarEvolution / LoopSimplify results, paper section 4).
+ * Attached to the loop *header* block.
+ */
+struct LoopFacts
+{
+    /** Trip count if statically known (enables skipping instrumentation). */
+    std::optional<uint64_t> static_trip;
+
+    /** True when a usable induction variable exists (cheaper gadget). */
+    bool has_induction_var = false;
+};
+
+/** A basic block: straight-line instructions plus one terminator. */
+struct Block
+{
+    std::vector<Instr> instrs;
+    Terminator term;
+    LoopFacts loop_facts;   ///< meaningful only when this block heads a loop
+
+    /** Number of non-probe instructions (the "real" program). */
+    int
+    real_instr_count() const
+    {
+        int n = 0;
+        for (const auto &i : instrs)
+            n += !i.is_probe();
+        return n;
+    }
+};
+
+/** A function: blocks with block 0 as entry. */
+struct Function
+{
+    std::string name;
+    std::vector<Block> blocks;
+
+    int num_blocks() const { return static_cast<int>(blocks.size()); }
+
+    /** Total static probe sites (paper reports probe counts). */
+    int
+    probe_count() const
+    {
+        int n = 0;
+        for (const auto &b : blocks)
+            for (const auto &i : b.instrs)
+                n += i.is_probe();
+        return n;
+    }
+
+    /** Total static non-probe instructions. */
+    int
+    real_instr_count() const
+    {
+        int n = 0;
+        for (const auto &b : blocks)
+            n += b.real_instr_count();
+        return n;
+    }
+};
+
+/** A module: functions; index 0 is the program entry point. */
+struct Module
+{
+    std::string name;
+    std::vector<Function> functions;
+
+    Function &entry() { return functions.at(0); }
+    const Function &entry() const { return functions.at(0); }
+
+    int
+    probe_count() const
+    {
+        int n = 0;
+        for (const auto &f : functions)
+            n += f.probe_count();
+        return n;
+    }
+};
+
+/** Structural sanity check: every target in range, entry exists, etc. */
+void validate(const Module &m);
+
+/** Human-readable dump for debugging and golden tests. */
+std::string to_string(const Function &f);
+
+} // namespace tq::compiler
+
+#endif // TQ_COMPILER_IR_H

@@ -1,0 +1,48 @@
+#include "compiler/report.h"
+
+namespace tq::compiler {
+
+TechniqueMetrics
+measure_technique(const Module &m, ProbeKind technique,
+                  const PassConfig &pass_cfg, const ExecConfig &exec_cfg)
+{
+    Module inst = m; // instrument a copy
+    switch (technique) {
+      case ProbeKind::TqClock:
+        run_tq_pass(inst, pass_cfg);
+        break;
+      case ProbeKind::CiCounter:
+        run_ci_pass(inst, pass_cfg);
+        break;
+      case ProbeKind::CiCycles:
+        run_ci_cycles_pass(inst, pass_cfg);
+        break;
+      default:
+        tq::fatal("measure_technique: not a technique kind");
+    }
+
+    const ExecResult res = execute(inst, exec_cfg);
+
+    TechniqueMetrics tm;
+    tm.overhead = res.overhead();
+    tm.mae_ns = res.yield_mae_cycles / exec_cfg.cost.cycles_per_ns;
+    tm.yields = res.yields;
+    for (const auto &fn : inst.functions)
+        tm.static_probes += fn.probe_count();
+    return tm;
+}
+
+ComparisonRow
+compare_techniques(const Module &m, const PassConfig &pass_cfg,
+                   const ExecConfig &exec_cfg)
+{
+    ComparisonRow row;
+    row.workload = m.name;
+    row.ci = measure_technique(m, ProbeKind::CiCounter, pass_cfg, exec_cfg);
+    row.ci_cycles =
+        measure_technique(m, ProbeKind::CiCycles, pass_cfg, exec_cfg);
+    row.tq = measure_technique(m, ProbeKind::TqClock, pass_cfg, exec_cfg);
+    return row;
+}
+
+} // namespace tq::compiler

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Instrumentation-technique comparison harness (paper Table 3).
+ *
+ * Runs one module through each technique (TQ, CI, CI-Cycles), executes
+ * the instrumented modules under the timing model, and collects the
+ * paper's metrics: probing overhead (%), yield-timing MAE (ns), and
+ * static probe counts.
+ */
+#ifndef TQ_COMPILER_REPORT_H
+#define TQ_COMPILER_REPORT_H
+
+#include <string>
+
+#include "compiler/exec.h"
+#include "compiler/passes.h"
+
+namespace tq::compiler {
+
+/** Metrics of one technique on one workload. */
+struct TechniqueMetrics
+{
+    double overhead = 0;       ///< probe cycles / real cycles
+    double mae_ns = 0;         ///< yield-timing mean absolute error
+    int static_probes = 0;     ///< probe sites inserted
+    uint64_t yields = 0;
+};
+
+/** Table-3 style row for one workload module. */
+struct ComparisonRow
+{
+    std::string workload;
+    TechniqueMetrics ci;
+    TechniqueMetrics ci_cycles;
+    TechniqueMetrics tq;
+};
+
+/**
+ * Instrument copies of @p m with each technique and execute them.
+ * @param pass_cfg placement configuration (bound etc.).
+ * @param exec_cfg timing configuration (quantum, cost model, seed).
+ */
+ComparisonRow compare_techniques(const Module &m, const PassConfig &pass_cfg,
+                                 const ExecConfig &exec_cfg);
+
+/** Apply one technique to a copy of @p m and measure it. */
+TechniqueMetrics measure_technique(const Module &m, ProbeKind technique,
+                                   const PassConfig &pass_cfg,
+                                   const ExecConfig &exec_cfg);
+
+} // namespace tq::compiler
+
+#endif // TQ_COMPILER_REPORT_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-producer, single-consumer fixed-size buffer pool.
+ *
+ * Mirrors the RX memory pool of the paper's DPDK stack (section 4): the
+ * dispatcher (single consumer) allocates request buffers; any worker
+ * (multi producer) releases a buffer back once the request is parsed.
+ */
+#ifndef TQ_CONC_BUFFER_POOL_H
+#define TQ_CONC_BUFFER_POOL_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "conc/mpmc_queue.h"
+
+namespace tq {
+
+/**
+ * Pool of @p T objects with lock-free acquire/release.
+ *
+ * All objects are preallocated; acquire() hands out raw pointers whose
+ * lifetime is managed by matching release() calls. The pool owns the
+ * storage for its whole lifetime, so a leaked pointer is never a
+ * use-after-free, just a lost slot (tests assert none are lost).
+ */
+template <typename T>
+class BufferPool
+{
+  public:
+    explicit BufferPool(size_t capacity)
+        : storage_(capacity), free_list_(capacity)
+    {
+        for (auto &obj : storage_)
+            TQ_CHECK(free_list_.push(&obj));
+    }
+
+    BufferPool(const BufferPool &) = delete;
+    BufferPool &operator=(const BufferPool &) = delete;
+
+    /** @return a free buffer, or nullptr if the pool is exhausted. */
+    T *
+    acquire()
+    {
+        auto ptr = free_list_.pop();
+        return ptr ? *ptr : nullptr;
+    }
+
+    /** Return @p obj (previously acquired from this pool) to the pool. */
+    void
+    release(T *obj)
+    {
+        TQ_DCHECK(owns(obj));
+        TQ_CHECK(free_list_.push(obj));
+    }
+
+    /** True if @p obj points into this pool's storage. */
+    bool
+    owns(const T *obj) const
+    {
+        return obj >= storage_.data() &&
+               obj < storage_.data() + storage_.size();
+    }
+
+    /** Total number of buffers. */
+    size_t capacity() const { return storage_.size(); }
+
+    /** Approximate number of currently free buffers. */
+    size_t free_count() const { return free_list_.size(); }
+
+  private:
+    std::vector<T> storage_;
+    MpmcQueue<T *> free_list_;
+};
+
+} // namespace tq
+
+#endif // TQ_CONC_BUFFER_POOL_H

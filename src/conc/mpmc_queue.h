@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer / multi-consumer queue.
+ *
+ * Dmitry Vyukov's array-based MPMC queue. TQ uses it wherever more than
+ * one thread can touch an end: the RX buffer pool is multi-producer
+ * (workers release parsed buffers) single-consumer (the dispatcher
+ * allocates), and the Caladan-style baseline uses it for work stealing.
+ */
+#ifndef TQ_CONC_MPMC_QUEUE_H
+#define TQ_CONC_MPMC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "conc/cacheline.h"
+
+namespace tq {
+
+/** Bounded MPMC FIFO of movable values; capacity rounds up to 2^k. */
+template <typename T>
+class MpmcQueue
+{
+  public:
+    explicit MpmcQueue(size_t min_capacity)
+    {
+        TQ_CHECK(min_capacity >= 1);
+        size_t cap = 1;
+        while (cap < min_capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        cells_ = std::vector<Cell>(cap);
+        for (size_t i = 0; i < cap; ++i)
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+
+    MpmcQueue(const MpmcQueue &) = delete;
+    MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+    /** Number of storable elements. */
+    size_t capacity() const { return mask_ + 1; }
+
+    /** Enqueue @p value; @return false when full. Thread-safe. */
+    bool
+    push(T value)
+    {
+        size_t pos = enqueue_pos_.value.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const size_t seq = cell.sequence.load(std::memory_order_acquire);
+            const intptr_t diff = static_cast<intptr_t>(seq) -
+                                  static_cast<intptr_t>(pos);
+            if (diff == 0) {
+                if (enqueue_pos_.value.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    cell.value = std::move(value);
+                    cell.sequence.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // full
+            } else {
+                pos = enqueue_pos_.value.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Dequeue the oldest element; @return nullopt when empty. Thread-safe. */
+    std::optional<T>
+    pop()
+    {
+        size_t pos = dequeue_pos_.value.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const size_t seq = cell.sequence.load(std::memory_order_acquire);
+            const intptr_t diff = static_cast<intptr_t>(seq) -
+                                  static_cast<intptr_t>(pos + 1);
+            if (diff == 0) {
+                if (dequeue_pos_.value.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    T value = std::move(cell.value);
+                    cell.sequence.store(pos + mask_ + 1,
+                                        std::memory_order_release);
+                    return value;
+                }
+            } else if (diff < 0) {
+                return std::nullopt; // empty
+            } else {
+                pos = dequeue_pos_.value.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Approximate occupancy (racy; for stats and tests only). */
+    size_t
+    size() const
+    {
+        const size_t enq = enqueue_pos_.value.load(std::memory_order_acquire);
+        const size_t deq = dequeue_pos_.value.load(std::memory_order_acquire);
+        return enq >= deq ? enq - deq : 0;
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<size_t> sequence{0};
+        T value{};
+    };
+
+    std::vector<Cell> cells_;
+    size_t mask_;
+    PaddedAtomic<size_t> enqueue_pos_;
+    PaddedAtomic<size_t> dequeue_pos_;
+};
+
+} // namespace tq
+
+#endif // TQ_CONC_MPMC_QUEUE_H

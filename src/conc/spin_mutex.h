@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Test-and-test-and-set spin mutex.
+ *
+ * Used only on slow paths (startup, stats aggregation) and by the
+ * Shinjuku-style baseline's centralized queue, where lock contention is
+ * precisely the effect under study.
+ */
+#ifndef TQ_CONC_SPIN_MUTEX_H
+#define TQ_CONC_SPIN_MUTEX_H
+
+#include <atomic>
+
+#include "conc/cacheline.h"
+
+namespace tq {
+
+/** TTAS spinlock satisfying the C++ Lockable requirements. */
+class SpinMutex
+{
+  public:
+    void
+    lock()
+    {
+        for (;;) {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            while (locked_.load(std::memory_order_relaxed))
+                cpu_relax();
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !locked_.load(std::memory_order_relaxed) &&
+               !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        locked_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+} // namespace tq
+
+#endif // TQ_CONC_SPIN_MUTEX_H

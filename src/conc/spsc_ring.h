@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bounded lock-free single-producer / single-consumer ring buffer.
+ *
+ * This is the "lockless ring buffer" the TQ dispatcher uses to forward a
+ * request to the least-loaded worker, and that each worker uses for its
+ * private TX queue (paper section 4). It is a classic Lamport queue with
+ * cached remote indices so the hot path touches only one shared cache
+ * line per operation amortized.
+ */
+#ifndef TQ_CONC_SPSC_RING_H
+#define TQ_CONC_SPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "conc/cacheline.h"
+
+namespace tq {
+
+/**
+ * Bounded SPSC FIFO of trivially-movable values.
+ *
+ * Exactly one thread may call push(); exactly one thread may call pop().
+ * Capacity is rounded up to a power of two.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param min_capacity minimum number of storable elements (>= 1). */
+    explicit SpscRing(size_t min_capacity)
+    {
+        TQ_CHECK(min_capacity >= 1);
+        size_t cap = 1;
+        while (cap < min_capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        slots_.resize(cap);
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Number of storable elements. */
+    size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue @p value. Producer-side only.
+     * @return false if the ring is full (value untouched).
+     */
+    bool
+    push(T value)
+    {
+        const size_t head = head_.value.load(std::memory_order_relaxed);
+        if (head - cached_tail_ > mask_) {
+            cached_tail_ = tail_.value.load(std::memory_order_acquire);
+            if (head - cached_tail_ > mask_)
+                return false;
+        }
+        slots_[head & mask_] = std::move(value);
+        head_.value.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest element. Consumer-side only.
+     * @return std::nullopt if the ring is empty.
+     */
+    std::optional<T>
+    pop()
+    {
+        const size_t tail = tail_.value.load(std::memory_order_relaxed);
+        if (tail == cached_head_) {
+            cached_head_ = head_.value.load(std::memory_order_acquire);
+            if (tail == cached_head_)
+                return std::nullopt;
+        }
+        T value = std::move(slots_[tail & mask_]);
+        tail_.value.store(tail + 1, std::memory_order_release);
+        return value;
+    }
+
+    /** Approximate occupancy; exact only when called by one of the ends. */
+    size_t
+    size() const
+    {
+        return head_.value.load(std::memory_order_acquire) -
+               tail_.value.load(std::memory_order_acquire);
+    }
+
+    /** True when size() == 0 at the time of the loads. */
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> slots_;
+    size_t mask_;
+
+    PaddedAtomic<size_t> head_;          // written by producer
+    PaddedAtomic<size_t> tail_;          // written by consumer
+    alignas(kCacheLineSize) size_t cached_tail_ = 0;  // producer-local
+    alignas(kCacheLineSize) size_t cached_head_ = 0;  // consumer-local
+};
+
+} // namespace tq
+
+#endif // TQ_CONC_SPSC_RING_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Portable ucontext-based fallback for non-x86-64 targets.
+ *
+ * Slower than the assembly path (swapcontext saves the signal mask with a
+ * system call), but functionally identical, which keeps the library and
+ * its tests usable on any POSIX platform.
+ */
+#include "coro/context.h"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <new>
+
+#include "common/check.h"
+
+namespace tq {
+namespace detail_ucontext {
+
+/** Per-context bookkeeping carved from the top of the context's stack. */
+struct UcontextRecord
+{
+    ucontext_t ctx;
+    void *arg = nullptr;
+    ContextEntry entry = nullptr;
+};
+
+thread_local UcontextRecord tl_native;
+thread_local UcontextRecord *tl_current = nullptr;
+thread_local UcontextRecord *tl_target = nullptr;
+
+void
+ucontext_entry()
+{
+    // On first entry the resuming jump left our record in tl_target.
+    UcontextRecord *rec = tl_target;
+    rec->entry(rec->arg);
+    TQ_CHECK(false); // entry must never return
+}
+
+void *
+jump(void **from_sp, void *to_sp, void *arg)
+{
+    UcontextRecord *self = tl_current ? tl_current : &tl_native;
+    auto *target = static_cast<UcontextRecord *>(to_sp);
+    *from_sp = self;
+    target->arg = arg;
+    tl_current = target;
+    tl_target = target;
+    TQ_CHECK(swapcontext(&self->ctx, &target->ctx) == 0);
+    tl_current = self;
+    return self->arg;
+}
+
+} // namespace detail_ucontext
+
+void *
+make_context(void *stack_base, size_t stack_size, ContextEntry entry)
+{
+    using detail_ucontext::UcontextRecord;
+    using detail_ucontext::ucontext_entry;
+
+    // Reserve the record at the (aligned) top of the stack region.
+    uintptr_t top = reinterpret_cast<uintptr_t>(stack_base) + stack_size;
+    top -= sizeof(UcontextRecord);
+    top &= ~uintptr_t{63};
+    auto *rec = new (reinterpret_cast<void *>(top)) UcontextRecord();
+    rec->entry = entry;
+    TQ_CHECK(getcontext(&rec->ctx) == 0);
+    rec->ctx.uc_stack.ss_sp = stack_base;
+    rec->ctx.uc_stack.ss_size = top - reinterpret_cast<uintptr_t>(stack_base);
+    rec->ctx.uc_link = nullptr;
+    makecontext(&rec->ctx, reinterpret_cast<void (*)()>(&ucontext_entry), 0);
+    return rec;
+}
+
+} // namespace tq
+
+extern "C" void *
+tq_context_jump(void **from_sp, void *to_sp, void *arg)
+{
+    return tq::detail_ucontext::jump(from_sp, to_sp, arg);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Stackful coroutines — the execution contexts of forced multitasking.
+ *
+ * A Coroutine runs a callable on its own guarded stack and can suspend
+ * from arbitrarily deep call frames via yield(); resume() continues it
+ * from the suspension point. This is the property forced multitasking
+ * needs: compiler-inserted probes yield from wherever the job happens to
+ * be executing (paper section 3.1).
+ *
+ * Threading model: a coroutine is owned by one worker thread at a time.
+ * resume() is called from the scheduler side, yield() from inside the
+ * coroutine; neither is reentrant.
+ */
+#ifndef TQ_CORO_COROUTINE_H
+#define TQ_CORO_COROUTINE_H
+
+#include <functional>
+#include <utility>
+
+#include "coro/context.h"
+#include "coro/stack.h"
+
+namespace tq {
+
+/** A suspendable execution context running a user callable. */
+class Coroutine
+{
+  public:
+    /** Body type; receives the coroutine so it can yield. */
+    using Body = std::function<void(Coroutine &)>;
+
+    /**
+     * Create a coroutine (not started) around @p body.
+     * @param body callable run on the coroutine stack at first resume().
+     * @param stack stack to execute on; defaults to a fresh guarded stack.
+     */
+    explicit Coroutine(Body body, Stack stack = Stack());
+
+    /**
+     * Destroying a suspended (unfinished) coroutine is allowed: its stack
+     * is discarded without unwinding, so bodies must not rely on local
+     * destructors running if abandoned mid-flight. TQ's runtime only
+     * destroys idle (finished or never-started) coroutines.
+     */
+    ~Coroutine() = default;
+
+    Coroutine(const Coroutine &) = delete;
+    Coroutine &operator=(const Coroutine &) = delete;
+
+    /**
+     * Run the coroutine until its next yield() or until the body returns.
+     * Must not be called on a finished coroutine.
+     */
+    void resume();
+
+    /**
+     * Suspend and return control to the resume() caller.
+     * Must be called from inside the coroutine body.
+     */
+    void yield();
+
+    /** True once the body has returned. */
+    bool done() const { return done_; }
+
+    /** True between resume() and the matching yield()/completion. */
+    bool running() const { return running_; }
+
+    /**
+     * Re-arm a finished coroutine with a new body, reusing its stack.
+     * This is how TQ workers recycle task coroutines across requests.
+     */
+    void reset(Body body);
+
+    /**
+     * The coroutine currently running on this thread, or nullptr when
+     * the thread is in scheduler (native) context. Used by the probe
+     * runtime to find the yield target without plumbing pointers through
+     * instrumented application code.
+     */
+    static Coroutine *current();
+
+  private:
+    static void entry(void *self);
+    void run_body();
+
+    Stack stack_;
+    Body body_;
+    void *self_sp_ = nullptr;    ///< suspension point of the coroutine
+    void *caller_sp_ = nullptr;  ///< suspension point of the resumer
+    bool started_ = false;
+    bool running_ = false;
+    bool done_ = false;
+};
+
+} // namespace tq
+
+#endif // TQ_CORO_COROUTINE_H

@@ -1,0 +1,113 @@
+#include "net/loadgen.h"
+
+#include <thread>
+
+#include "common/check.h"
+#include "common/cycles.h"
+#include "common/rng.h"
+
+namespace tq::net {
+
+const ClientClassStats &
+ClientStats::by_class(const std::string &name) const
+{
+    for (const auto &c : classes)
+        if (c.name == name)
+            return c;
+    tq::fatal("ClientStats::by_class: unknown class");
+}
+
+ClientStats
+run_open_loop(Server &server, const ServiceDist &dist,
+              const RequestFactory &factory, const LoadGenConfig &cfg)
+{
+    TQ_CHECK(cfg.rate_mrps > 0);
+    Rng rng(cfg.seed);
+    const auto &names = dist.class_names();
+    std::vector<PercentileTracker> sojourn(names.size());
+    std::vector<PercentileTracker> e2e(names.size());
+    std::vector<uint64_t> counts(names.size(), 0);
+
+    ClientStats stats;
+    std::vector<runtime::Response> responses;
+    responses.reserve(4096);
+
+    const double mean_gap_ns = 1e3 / cfg.rate_mrps; // ns between sends
+    const Cycles start = rdcycles();
+    const Cycles window_end =
+        start + ns_to_cycles(cfg.duration_sec * 1e9);
+    Cycles next_send =
+        start + ns_to_cycles(rng.exponential(mean_gap_ns));
+    uint64_t next_id = 0;
+
+    auto collect = [&] {
+        responses.clear();
+        server.drain(responses);
+        for (const auto &r : responses) {
+            const size_t c = static_cast<size_t>(r.job_class);
+            sojourn[c].add(r.sojourn_ns());
+            e2e[c].add(r.e2e_ns());
+            ++counts[c];
+            ++stats.completed;
+        }
+    };
+
+    // Generation window: open loop — send times do not depend on
+    // completions (paper section 5.1).
+    while (true) {
+        const Cycles now = rdcycles();
+        if (now >= window_end)
+            break;
+        while (next_send <= now) {
+            const ServiceSample s = dist.sample(rng);
+            runtime::Request req = factory(s, next_id);
+            req.id = next_id++;
+            req.gen_cycles = next_send;
+            if (server.submit(req))
+                ++stats.submitted;
+            else
+                ++stats.send_failures;
+            next_send += ns_to_cycles(rng.exponential(mean_gap_ns));
+        }
+        collect();
+    }
+
+    // Drain stragglers.
+    const Cycles drain_end =
+        rdcycles() + ns_to_cycles(cfg.drain_timeout_sec * 1e9);
+    while (stats.completed < stats.submitted && rdcycles() < drain_end) {
+        collect();
+        std::this_thread::yield();
+    }
+    collect();
+
+    const double elapsed_ns = cycles_to_ns(rdcycles() - start);
+    stats.achieved_mrps =
+        elapsed_ns > 0 ? static_cast<double>(stats.completed) * 1e3 /
+                             elapsed_ns
+                       : 0;
+    for (size_t c = 0; c < names.size(); ++c) {
+        ClientClassStats cs;
+        cs.name = names[c];
+        cs.completed = counts[c];
+        cs.p999_sojourn_us = sojourn[c].quantile(0.999, cfg.warmup) / 1e3;
+        cs.p99_sojourn_us = sojourn[c].quantile(0.99, cfg.warmup) / 1e3;
+        cs.mean_sojourn_us = sojourn[c].mean(cfg.warmup) / 1e3;
+        cs.p999_e2e_us = e2e[c].quantile(0.999, cfg.warmup) / 1e3;
+        stats.classes.push_back(std::move(cs));
+    }
+    return stats;
+}
+
+RequestFactory
+spin_request_factory()
+{
+    return [](const ServiceSample &s, uint64_t) {
+        runtime::Request req;
+        req.job_class = s.job_class;
+        req.payload = static_cast<uint64_t>(s.demand);
+        return req;
+    };
+}
+
+} // namespace tq::net

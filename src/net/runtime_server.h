@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Server adapter binding the load generator to a tq::runtime::Runtime.
+ */
+#ifndef TQ_NET_RUNTIME_SERVER_H
+#define TQ_NET_RUNTIME_SERVER_H
+
+#include "net/loadgen.h"
+#include "runtime/runtime.h"
+
+namespace tq::net {
+
+/** Adapts Runtime's submit/drain to the load generator's interface. */
+class RuntimeServer : public Server
+{
+  public:
+    explicit RuntimeServer(runtime::Runtime &rt) : rt_(rt) {}
+
+    bool
+    submit(const runtime::Request &req) override
+    {
+        return rt_.submit(req);
+    }
+
+    size_t
+    drain(std::vector<runtime::Response> &out) override
+    {
+        return rt_.drain_responses(out);
+    }
+
+  private:
+    runtime::Runtime &rt_;
+};
+
+} // namespace tq::net
+
+#endif // TQ_NET_RUNTIME_SERVER_H

@@ -1,0 +1,35 @@
+#include "probe/probe.h"
+
+#include "common/check.h"
+
+namespace tq {
+
+ProbeState &
+probe_state()
+{
+    thread_local ProbeState state;
+    return state;
+}
+
+namespace detail {
+
+void
+probe_expired(ProbeState &s)
+{
+    if (s.preempt_disabled > 0) {
+        // Inside a critical section: remember, yield at the next probe
+        // that runs outside any guard (paper section 4).
+        s.yield_pending = true;
+        return;
+    }
+    s.yield_pending = false;
+    TQ_CHECK(s.call_the_yield != nullptr);
+    ++s.yields;
+    // Push the deadline out so nested probes reached while unwinding to
+    // the yield do not recurse; the scheduler re-arms before resuming.
+    s.deadline = ~Cycles{0};
+    s.call_the_yield(s.yield_arg);
+}
+
+} // namespace detail
+} // namespace tq

@@ -1,0 +1,551 @@
+#include "progs/programs.h"
+
+#include <functional>
+#include <map>
+
+#include "common/check.h"
+#include "compiler/builder.h"
+
+namespace tq::progs {
+
+using compiler::Function;
+using compiler::FunctionBuilder;
+using compiler::Module;
+using compiler::Op;
+
+namespace {
+
+/**
+ * Archetype: doubly/triply nested numeric loops over a grid, as in
+ * SPLASH-2's ocean / lu / fft kernels. Inner trips may be statically
+ * known (ScalarEvolution-style) and usually expose induction variables.
+ */
+Module
+grid_kernel(const std::string &name, uint64_t reps, uint64_t rows,
+            uint64_t cols, bool trips_known, bool induction, int body_ialu,
+            int body_loads, int body_fmul, int body_fdiv)
+{
+    FunctionBuilder fb(name);
+    const int entry = fb.add_block();
+    const int outer = fb.add_block();  // row loop header
+    const int inner = fb.add_block();  // column loop header+latch
+    const int outer_latch = fb.add_block();
+    const int exit = fb.add_block();
+
+    fb.jump(entry, outer);
+    fb.ops(outer, Op::IAlu, 3).ops(outer, Op::Load, 1);
+    fb.jump(outer, inner);
+    fb.mix(inner, body_ialu, body_loads, 1, body_fmul, body_fdiv);
+    fb.latch(inner, inner, outer_latch, cols);
+    fb.loop_facts(inner,
+                  trips_known ? std::optional<uint64_t>(cols) : std::nullopt,
+                  induction);
+    fb.ops(outer_latch, Op::Store, 2);
+    fb.latch(outer_latch, outer, exit, rows);
+    fb.loop_facts(outer,
+                  trips_known ? std::optional<uint64_t>(rows) : std::nullopt,
+                  induction);
+    fb.ret(exit);
+    Function kernel = fb.build();
+
+    // Entry function repeats the kernel `reps` times.
+    FunctionBuilder eb(name + "_main");
+    const int e0 = eb.add_block();
+    const int body = eb.add_block();
+    const int done = eb.add_block();
+    eb.jump(e0, body);
+    eb.call(body, 1);
+    eb.latch(body, body, done, reps);
+    eb.ret(done);
+
+    Module m;
+    m.name = name;
+    m.functions.push_back(eb.build());
+    m.functions.push_back(std::move(kernel));
+    return m;
+}
+
+/**
+ * Archetype: O(n^2) particle interactions with a per-pair force function,
+ * as in water-* / barnes / fmm. The force function is branchy and
+ * division-heavy; outer trips are data-dependent (unknown).
+ */
+Module
+pairwise_kernel(const std::string &name, uint64_t reps, uint64_t n_outer,
+                uint64_t n_inner, int force_fdiv, double cutoff_prob)
+{
+    // functions: 0 = main, 1 = outer sweep, 2 = force
+    FunctionBuilder force(name + "_force");
+    {
+        const int b0 = force.add_block();
+        const int near = force.add_block();
+        const int far = force.add_block();
+        const int out = force.add_block();
+        force.mix(b0, 6, 2, 0, 2, 0);
+        force.branch(b0, near, far, cutoff_prob);
+        force.mix(near, 8, 2, 1, 4, force_fdiv);
+        force.jump(near, out);
+        force.mix(far, 3, 1, 0, 1, 0);
+        force.jump(far, out);
+        force.ops(out, Op::Store, 1);
+        force.ret(out);
+    }
+
+    FunctionBuilder sweep(name + "_sweep");
+    {
+        const int b0 = sweep.add_block();
+        const int outer = sweep.add_block();
+        const int inner = sweep.add_block();
+        const int olatch = sweep.add_block();
+        const int exit = sweep.add_block();
+        sweep.jump(b0, outer);
+        sweep.ops(outer, Op::Load, 2).ops(outer, Op::IAlu, 2);
+        sweep.jump(outer, inner);
+        sweep.ops(inner, Op::IAlu, 2).call(inner, 2);
+        sweep.latch(inner, inner, olatch, n_inner);
+        sweep.loop_facts(inner, std::nullopt, true);
+        sweep.ops(olatch, Op::Store, 1);
+        sweep.latch(olatch, outer, exit, n_outer);
+        sweep.loop_facts(outer, std::nullopt, false);
+        sweep.ret(exit);
+    }
+
+    FunctionBuilder eb(name + "_main");
+    const int e0 = eb.add_block();
+    const int body = eb.add_block();
+    const int done = eb.add_block();
+    eb.jump(e0, body);
+    eb.call(body, 1);
+    eb.latch(body, body, done, reps);
+    eb.ret(done);
+
+    Module m;
+    m.name = name;
+    m.functions.push_back(eb.build());
+    m.functions.push_back(sweep.build());
+    m.functions.push_back(force.build());
+    return m;
+}
+
+/**
+ * Archetype: one hot self-loop with a tiny body over a big input, as in
+ * Phoenix's histogram / linear-regression / string-match. This is the
+ * worst case for CI (a probe in the only block => probe per handful of
+ * instructions) and the best case for TQ's loop gadgets.
+ */
+Module
+scan_kernel(const std::string &name, uint64_t items, int body_ialu,
+            int body_loads, bool induction, double branch_prob)
+{
+    FunctionBuilder fb(name + "_main");
+    const int entry = fb.add_block();
+    const int loop = fb.add_block();
+    const int rare = fb.add_block();   // infrequent slow path (match found)
+    const int latch = fb.add_block();
+    const int exit = fb.add_block();
+
+    fb.ops(entry, Op::IAlu, 4);
+    fb.jump(entry, loop);
+    fb.mix(loop, body_ialu, body_loads, 0);
+    fb.branch(loop, rare, latch, branch_prob);
+    fb.loop_facts(loop, std::nullopt, induction);
+    fb.mix(rare, 10, 2, 2);
+    fb.jump(rare, latch);
+    fb.latch(latch, loop, exit, items);
+    fb.ret(exit);
+
+    Module m;
+    m.name = name;
+    m.functions.push_back(fb.build());
+    return m;
+}
+
+/**
+ * Archetype: tight *single-block* self loop (memset/radix-pass style) —
+ * the case the paper's self-loop cloning optimization targets.
+ */
+Module
+selfloop_kernel(const std::string &name, uint64_t reps, uint64_t items,
+                int body_ialu, int body_loads)
+{
+    FunctionBuilder fb(name + "_main");
+    const int entry = fb.add_block();
+    const int loop = fb.add_block();
+    const int between = fb.add_block();
+    const int exit = fb.add_block();
+
+    fb.jump(entry, loop);
+    fb.mix(loop, body_ialu, body_loads, 1);
+    fb.latch(loop, loop, between, items);
+    fb.loop_facts(loop, std::nullopt, false); // trip is data dependent
+    fb.ops(between, Op::IAlu, 6);
+    fb.latch(between, loop, exit, reps);
+    fb.ret(exit);
+
+    Module m;
+    m.name = name;
+    m.functions.push_back(fb.build());
+    return m;
+}
+
+/**
+ * Archetype: recursive traversal (bounded-depth call chain) with branchy
+ * nodes, as in raytrace / volrend / radiosity. Each level is its own
+ * function so the interprocedural part of the pass is exercised.
+ */
+Module
+tree_kernel(const std::string &name, uint64_t reps, int depth,
+            double descend_prob, int node_work)
+{
+    Module m;
+    m.name = name;
+
+    FunctionBuilder eb(name + "_main");
+    const int e0 = eb.add_block();
+    const int body = eb.add_block();
+    const int done = eb.add_block();
+    eb.jump(e0, body);
+    eb.call(body, 1);
+    eb.latch(body, body, done, reps);
+    eb.ret(done);
+    m.functions.push_back(eb.build());
+
+    // Level functions 1..depth; level i calls i+1 twice with probability.
+    for (int level = 1; level <= depth; ++level) {
+        FunctionBuilder fb(name + "_lvl" + std::to_string(level));
+        const int b0 = fb.add_block();
+        const int descend = fb.add_block();
+        const int leaf = fb.add_block();
+        const int out = fb.add_block();
+        fb.mix(b0, node_work, 3, 0, 2, 0);
+        if (level < depth) {
+            fb.branch(b0, descend, leaf, descend_prob);
+            fb.call(descend, level + 1).call(descend, level + 1);
+            fb.jump(descend, out);
+        } else {
+            fb.branch(b0, leaf, leaf, 1.0);
+        }
+        fb.mix(leaf, 6, 2, 1, 1, 1);
+        fb.jump(leaf, out);
+        fb.ops(out, Op::Store, 1);
+        fb.ret(out);
+        m.functions.push_back(fb.build());
+    }
+    return m;
+}
+
+/**
+ * Archetype: triangular solve — nested loops whose inner trip depends on
+ * the outer index (unknown statically), as in cholesky / lu-nc. Also
+ * mixes in calls to an uninstrumented external (BLAS-like) routine.
+ */
+Module
+triangular_kernel(const std::string &name, uint64_t reps, uint64_t n,
+                  double ext_cost)
+{
+    FunctionBuilder fb(name + "_kernel");
+    const int b0 = fb.add_block();
+    const int outer = fb.add_block();
+    const int mid = fb.add_block();
+    const int inner = fb.add_block();
+    const int mid_latch = fb.add_block();
+    const int outer_latch = fb.add_block();
+    const int exit = fb.add_block();
+
+    fb.jump(b0, outer);
+    fb.ops(outer, Op::Load, 1).ops(outer, Op::FDiv, 1);
+    fb.jump(outer, mid);
+    fb.ops(mid, Op::IAlu, 2);
+    fb.jump(mid, inner);
+    fb.mix(inner, 4, 2, 1, 2, 0);
+    fb.latch(inner, inner, mid_latch, n / 2); // avg trip; unknown statically
+    fb.loop_facts(inner, std::nullopt, true);
+    if (ext_cost > 0)
+        fb.ext_call(mid_latch, ext_cost);
+    fb.latch(mid_latch, mid, outer_latch, n / 4);
+    fb.loop_facts(mid, std::nullopt, false);
+    fb.ops(outer_latch, Op::Store, 1);
+    fb.latch(outer_latch, outer, exit, n);
+    fb.loop_facts(outer, std::nullopt, false);
+    fb.ret(exit);
+
+    FunctionBuilder eb(name + "_main");
+    const int e0 = eb.add_block();
+    const int body = eb.add_block();
+    const int done = eb.add_block();
+    eb.jump(e0, body);
+    eb.call(body, 1);
+    eb.latch(body, body, done, reps);
+    eb.ret(done);
+
+    Module m;
+    m.name = name;
+    m.functions.push_back(eb.build());
+    m.functions.push_back(fb.build());
+    return m;
+}
+
+/**
+ * Archetype: multi-phase pipeline — several loops of different shapes in
+ * sequence with data-dependent branches between them (PARSEC-style
+ * blackscholes / swaptions / streamcluster).
+ */
+Module
+pipeline_kernel(const std::string &name, uint64_t reps, uint64_t phase_items,
+                int phases, int fdiv_per_item)
+{
+    FunctionBuilder fb(name + "_kernel");
+    const int b0 = fb.add_block();
+    fb.ops(b0, Op::IAlu, 4);
+    for (int p = 0; p < phases; ++p) {
+        const int header = fb.add_block();
+        const int slow = fb.add_block();
+        const int latch = fb.add_block();
+        if (p == 0)
+            fb.jump(b0, header);
+        fb.mix(header, 6 + 2 * p, 2, 1, 2, p == 0 ? fdiv_per_item : 0);
+        fb.branch(header, slow, latch, 0.15);
+        fb.loop_facts(header, std::nullopt, p % 2 == 0);
+        fb.mix(slow, 8, 3, 1, 2, 1);
+        fb.jump(slow, latch);
+        // target_else temporarily points at the latch itself; the fixup
+        // below retargets it to the next phase header / the exit block.
+        fb.latch(latch, header, latch, phase_items);
+    }
+    const int exit = fb.add_block();
+    fb.ret(exit);
+    // Fix up latch exits (they pointed at themselves as placeholders).
+    Function kernel = fb.build();
+    int fixed = 0;
+    for (int b = 0; b < kernel.num_blocks() - 1; ++b) {
+        auto &t = kernel.blocks[static_cast<size_t>(b)].term;
+        if (t.kind == compiler::Terminator::Kind::Branch &&
+            t.model.kind == compiler::BranchModel::Kind::TripCount &&
+            t.target_else == b) {
+            // Next phase header is b+1 (or the exit for the last phase).
+            t.target_else = b + 1;
+            ++fixed;
+        }
+    }
+    TQ_CHECK(fixed == phases);
+
+    FunctionBuilder eb(name + "_main");
+    const int e0 = eb.add_block();
+    const int body = eb.add_block();
+    const int done = eb.add_block();
+    eb.jump(e0, body);
+    eb.call(body, 1);
+    eb.latch(body, body, done, reps);
+    eb.ret(done);
+
+    Module m;
+    m.name = name;
+    m.functions.push_back(eb.build());
+    m.functions.push_back(std::move(kernel));
+    return m;
+}
+
+/** Registry mapping Table-3 workload names to their archetypes. */
+const std::map<std::string, std::function<Module()>> &
+registry()
+{
+    static const std::map<std::string, std::function<Module()>> reg = {
+        // --- SPLASH-2 ---
+        {"water-nsquared",
+         [] { return pairwise_kernel("water-nsquared", 40, 60, 60, 2, 0.3); }},
+        {"water-spatial",
+         [] { return pairwise_kernel("water-spatial", 60, 40, 40, 1, 0.5); }},
+        {"ocean-cp",
+         [] { return grid_kernel("ocean-cp", 30, 80, 80, true, true,
+                                 6, 3, 2, 0); }},
+        {"ocean-ncp",
+         [] { return grid_kernel("ocean-ncp", 30, 80, 80, false, true,
+                                 6, 3, 2, 0); }},
+        {"barnes",
+         [] { return tree_kernel("barnes", 300, 8, 0.75, 10); }},
+        {"volrend",
+         [] { return tree_kernel("volrend", 400, 6, 0.7, 14); }},
+        {"fmm", [] { return pairwise_kernel("fmm", 50, 50, 40, 3, 0.4); }},
+        {"raytrace",
+         [] { return tree_kernel("raytrace", 250, 9, 0.72, 8); }},
+        {"radiosity",
+         [] { return tree_kernel("radiosity", 350, 7, 0.78, 12); }},
+        {"radix",
+         [] { return selfloop_kernel("radix", 50, 4000, 3, 2); }},
+        {"fft",
+         [] { return grid_kernel("fft", 40, 64, 64, true, true,
+                                 4, 2, 4, 0); }},
+        {"lu-c",
+         [] { return grid_kernel("lu-c", 25, 72, 72, true, true,
+                                 5, 3, 3, 1); }},
+        {"lu-nc",
+         [] { return triangular_kernel("lu-nc", 18, 72, 0); }},
+        {"cholesky",
+         [] { return triangular_kernel("cholesky", 14, 80, 120); }},
+        // --- Phoenix ---
+        {"reverse-index",
+         [] { return scan_kernel("reverse-index", 120000, 4, 3, false,
+                                 0.1); }},
+        {"histogram",
+         [] { return scan_kernel("histogram", 200000, 3, 2, true, 0.0); }},
+        {"kmeans",
+         [] { return grid_kernel("kmeans", 35, 60, 60, false, true,
+                                 5, 3, 3, 0); }},
+        {"pca",
+         [] { return grid_kernel("pca", 28, 70, 70, false, false,
+                                 6, 3, 4, 0); }},
+        {"matrix-multiply",
+         [] { return grid_kernel("matrix-multiply", 30, 64, 64, true, true,
+                                 3, 2, 2, 0); }},
+        {"string-match",
+         [] { return scan_kernel("string-match", 180000, 4, 2, false,
+                                 0.02); }},
+        {"linear-regression",
+         [] { return scan_kernel("linear-regression", 220000, 4, 1, true,
+                                 0.0); }},
+        {"word-count",
+         [] { return scan_kernel("word-count", 150000, 5, 2, false, 0.08); }},
+        // --- PARSEC ---
+        {"blackscholes",
+         [] { return pipeline_kernel("blackscholes", 60, 400, 2, 3); }},
+        {"fluidanimate",
+         [] { return pipeline_kernel("fluidanimate", 35, 500, 4, 1); }},
+        {"swaptions",
+         [] { return pipeline_kernel("swaptions", 45, 450, 3, 2); }},
+        {"canneal",
+         [] { return scan_kernel("canneal", 140000, 6, 4, false, 0.2); }},
+        {"streamcluster",
+         [] { return pipeline_kernel("streamcluster", 40, 520, 3, 0); }},
+    };
+    return reg;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+program_names()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        // Paper's Table-3 ordering.
+        for (const char *n :
+             {"water-nsquared", "water-spatial", "ocean-cp", "ocean-ncp",
+              "barnes", "volrend", "fmm", "raytrace", "radiosity", "radix",
+              "fft", "lu-c", "lu-nc", "cholesky", "reverse-index",
+              "histogram", "kmeans", "pca", "matrix-multiply", "string-match",
+              "linear-regression", "word-count", "blackscholes",
+              "fluidanimate", "swaptions", "canneal", "streamcluster"})
+            out.emplace_back(n);
+        return out;
+    }();
+    return names;
+}
+
+Module
+make_program(const std::string &name)
+{
+    const auto &reg = registry();
+    const auto it = reg.find(name);
+    if (it == reg.end())
+        tq::fatal("make_program: unknown workload name");
+    Module m = it->second();
+    compiler::validate(m);
+    return m;
+}
+
+Module
+make_rocksdb_get()
+{
+    // A ~2us point lookup: descend a skiplist/memtable (pointer chases
+    // with branchy key comparisons), then verify the key and copy the
+    // value. Real store code compiles to *hundreds* of tiny basic blocks
+    // (comparator specializations, bounds checks, slice handling), which
+    // is exactly what forces CI to probe at basic-block granularity
+    // (1000+ probes, 60% overhead — paper section 3.1) while TQ needs a
+    // handful of loop guards. The comparator below is deliberately a
+    // diamond chain of small blocks to reproduce that structure class.
+    FunctionBuilder cmp("rocksdb-keycmp");
+    {
+        // 16-byte key compared in branchy 1-byte steps with early exits.
+        const int c0 = cmp.add_block();
+        cmp.ops(c0, Op::Load, 1).ops(c0, Op::IAlu, 1);
+        int prev = c0;
+        for (int d = 0; d < 14; ++d) {
+            const int neq = cmp.add_block();  // bytes differ: finish up
+            const int eq = cmp.add_block();   // bytes equal: keep going
+            cmp.branch(prev, neq, eq, 0.35);
+            cmp.ops(neq, Op::IAlu, 2);
+            cmp.ops(eq, Op::Load, 1).ops(eq, Op::IAlu, 1);
+            // Both sides continue the comparison chain (the "differ"
+            // side re-checks case folding etc. before rejoining).
+            const int join = cmp.add_block();
+            cmp.jump(neq, join);
+            cmp.jump(eq, join);
+            cmp.ops(join, Op::IAlu, 1);
+            prev = join;
+        }
+        cmp.ret(prev);
+    }
+
+    FunctionBuilder fb("rocksdb-get");
+    const int entry = fb.add_block();
+    const int descend = fb.add_block();   // per-level loop
+    const int step = fb.add_block();      // advance within level
+    const int bounds = fb.add_block();    // node bounds check
+    const int stale = fb.add_block();     // version check slow path
+    const int step_join = fb.add_block();
+    const int level_done = fb.add_block();
+    const int verify = fb.add_block();
+    const int copy = fb.add_block();
+    const int copy_latch = fb.add_block();
+    const int exit = fb.add_block();
+
+    fb.ops(entry, Op::IAlu, 6).ops(entry, Op::Load, 2);
+    fb.jump(entry, descend);
+
+    // At each level: chase forward pointers a data-dependent number of
+    // times (geometric, modeled by Bernoulli), comparing keys as we go.
+    fb.ops(descend, Op::Load, 1).ops(descend, Op::IAlu, 2);
+    fb.jump(descend, step);
+    fb.ops(step, Op::Load, 2).ops(step, Op::IAlu, 1);
+    fb.call(step, 2); // key comparison
+    fb.branch(step, bounds, step_join, 0.5);
+    fb.loop_facts(step, std::nullopt, false);
+    fb.ops(bounds, Op::Load, 1).ops(bounds, Op::IAlu, 2);
+    fb.branch(bounds, stale, step_join, 0.1);
+    fb.ops(stale, Op::Load, 2).ops(stale, Op::IAlu, 3);
+    fb.jump(stale, step_join);
+    fb.ops(step_join, Op::IAlu, 1);
+    fb.branch(step_join, step, level_done, 0.75); // keep walking level
+    fb.latch(level_done, descend, verify, 12);    // 12 levels
+    fb.loop_facts(descend, std::nullopt, false);
+
+    fb.ops(verify, Op::Load, 4).ops(verify, Op::IAlu, 8);
+    fb.call(verify, 2); // final full-key verification
+    fb.jump(verify, copy);
+    fb.ops(copy, Op::Load, 2).ops(copy, Op::Store, 2).ops(copy, Op::IAlu, 2);
+    fb.jump(copy, copy_latch);
+    fb.latch(copy_latch, copy, exit, 16); // copy 16 chunks
+    fb.loop_facts(copy, std::optional<uint64_t>(16), true);
+    fb.ret(exit);
+
+    // Driver: many GETs back to back.
+    FunctionBuilder eb("rocksdb-get_main");
+    const int e0 = eb.add_block();
+    const int body = eb.add_block();
+    const int done = eb.add_block();
+    eb.jump(e0, body);
+    eb.call(body, 1);
+    eb.latch(body, body, done, 2000);
+    eb.ret(done);
+
+    Module m;
+    m.name = "rocksdb-get";
+    m.functions.push_back(eb.build());
+    m.functions.push_back(fb.build());
+    m.functions.push_back(cmp.build());
+    compiler::validate(m);
+    return m;
+}
+
+} // namespace tq::progs

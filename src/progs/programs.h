@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Synthetic benchmark programs for the instrumentation study (Table 3).
+ *
+ * The paper evaluates its compiler pass on 26 programs from SPLASH-2,
+ * PARSEC and Phoenix, chosen for their structural diversity. Without
+ * those binaries (or LLVM) available, each entry here is a mini-IR
+ * program mimicking the *dominant control structure* of the same-named
+ * kernel: nesting depth, loop-trip knowability, induction variables,
+ * branchiness, call trees, and instruction mix. The mapping is
+ * documented per program in programs.cc.
+ *
+ * make_program(name) is deterministic: the same name always produces the
+ * same module, so instrumentation results are reproducible.
+ */
+#ifndef TQ_PROGS_PROGRAMS_H
+#define TQ_PROGS_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace tq::progs {
+
+/** Names of the 26 Table-3 workloads, in the paper's order. */
+const std::vector<std::string> &program_names();
+
+/** Build the named workload module. Fatal on unknown names. */
+compiler::Module make_program(const std::string &name);
+
+/**
+ * The RocksDB GET stand-in used by the section 3.1 anecdote (CI inserts
+ * 1000+ probes / ~60% overhead on a 2us GET; TQ needs ~40 probes):
+ * a pointer-chasing skiplist-style lookup with branchy comparisons.
+ */
+compiler::Module make_rocksdb_get();
+
+} // namespace tq::progs
+
+#endif // TQ_PROGS_PROGRAMS_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Configuration of the real TQ runtime and its built-in policy variants
+ * (the TQ-RAND / TQ-POWER-TWO / TQ-FCFS variants of paper section 5.4).
+ */
+#ifndef TQ_RUNTIME_CONFIG_H
+#define TQ_RUNTIME_CONFIG_H
+
+#include <cstddef>
+
+namespace tq::runtime {
+
+/** Dispatcher load-balancing policy (paper sections 3.2, 5.4). */
+enum class DispatchPolicy {
+    JsqMsq,      ///< JSQ with Maximum-Serviced-Quanta ties (TQ default)
+    JsqRandom,   ///< JSQ with random ties
+    Random,      ///< uniform random worker
+    PowerOfTwo,  ///< least-loaded of two random workers
+};
+
+/** Per-worker quantum scheduling policy. */
+enum class WorkPolicy {
+    ProcessorSharing, ///< forced multitasking in `quantum_us` slices
+    Fcfs,             ///< run to completion (probes never fire)
+    Las,              ///< least-attained-service first: resume the task
+                      ///< with the fewest serviced quanta (dynamic
+                      ///< policies are possible because probes decide
+                      ///< yields at run time, paper section 3.1)
+};
+
+/** Runtime configuration. */
+struct RuntimeConfig
+{
+    int num_workers = 2;
+    double quantum_us = 2.0;
+
+    /** Task coroutines per worker. The paper observes stable performance
+     *  at four or more and uses eight (section 5.1). */
+    int tasks_per_worker = 8;
+
+    size_t ring_capacity = 1 << 14; ///< per-ring request/response slots
+    DispatchPolicy dispatch = DispatchPolicy::JsqMsq;
+    WorkPolicy work = WorkPolicy::ProcessorSharing;
+
+    uint64_t seed = 1; ///< randomized policies (Random / PowerOfTwo)
+};
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_CONFIG_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Request/response types flowing through the real TQ runtime.
+ *
+ * In the paper these are UDP packets moved by DPDK; here they are small
+ * PODs moved through the same lock-free ring structure (DESIGN.md
+ * substitution table).
+ */
+#ifndef TQ_RUNTIME_REQUEST_H
+#define TQ_RUNTIME_REQUEST_H
+
+#include <cstdint>
+
+#include "common/cycles.h"
+
+namespace tq::runtime {
+
+/** One incoming request. */
+struct Request
+{
+    uint64_t id = 0;
+    Cycles gen_cycles = 0;     ///< client send timestamp
+    Cycles arrival_cycles = 0; ///< stamped when the dispatcher receives it
+    int job_class = 0;         ///< workload class (short/long, GET/SCAN...)
+    uint64_t payload = 0;      ///< class-specific argument (key, ns, ...)
+};
+
+/** One completed response, emitted directly by the worker. */
+struct Response
+{
+    uint64_t id = 0;
+    Cycles gen_cycles = 0;
+    Cycles arrival_cycles = 0;
+    Cycles done_cycles = 0;    ///< stamped at completion on the worker
+    int job_class = 0;
+    int worker = -1;           ///< core that executed the job
+    uint64_t result = 0;       ///< handler's output (checksum etc.)
+
+    /** Server-side sojourn (dispatcher receive -> completion), ns. */
+    double
+    sojourn_ns() const
+    {
+        return cycles_to_ns(done_cycles - arrival_cycles);
+    }
+
+    /** End-to-end latency (client send -> completion), ns. */
+    double
+    e2e_ns() const
+    {
+        return cycles_to_ns(done_cycles - gen_cycles);
+    }
+};
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_REQUEST_H

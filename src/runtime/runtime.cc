@@ -1,0 +1,173 @@
+#include "runtime/runtime.h"
+
+#include "common/check.h"
+#include "common/cycles.h"
+
+namespace tq::runtime {
+
+Runtime::Runtime(RuntimeConfig cfg, Handler handler)
+    : cfg_(cfg),
+      rx_(cfg.ring_capacity),
+      rng_(cfg.seed),
+      assigned_(static_cast<size_t>(cfg.num_workers), 0),
+      readers_(static_cast<size_t>(cfg.num_workers)),
+      finished_view_(static_cast<size_t>(cfg.num_workers), 0)
+{
+    TQ_CHECK(cfg_.num_workers > 0);
+    for (int w = 0; w < cfg_.num_workers; ++w)
+        workers_.push_back(std::make_unique<Worker>(w, cfg_, handler));
+}
+
+Runtime::~Runtime()
+{
+    stop();
+}
+
+void
+Runtime::start()
+{
+    TQ_CHECK(!started_);
+    started_ = true;
+    threads_.emplace_back([this] { dispatcher_main(); });
+    for (auto &w : workers_)
+        threads_.emplace_back([&w, this] { w->run(stop_); });
+}
+
+void
+Runtime::stop()
+{
+    if (!started_ || stop_.load())
+        return;
+    stop_.store(true);
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+bool
+Runtime::submit(const Request &req)
+{
+    return rx_.push(req);
+}
+
+size_t
+Runtime::drain_responses(std::vector<Response> &out)
+{
+    size_t n = 0;
+    for (auto &w : workers_) {
+        while (auto resp = w->tx_ring().pop()) {
+            out.push_back(*resp);
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::vector<uint64_t>
+Runtime::queue_lengths()
+{
+    std::vector<uint64_t> lens(workers_.size());
+    for (size_t w = 0; w < workers_.size(); ++w) {
+        finished_view_[w] = readers_[w].read_finished(
+            workers_[w]->stats_line());
+        lens[w] = assigned_[w] - finished_view_[w];
+    }
+    return lens;
+}
+
+int
+Runtime::pick_worker()
+{
+    const int n = cfg_.num_workers;
+    switch (cfg_.dispatch) {
+      case DispatchPolicy::Random:
+        return static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+      case DispatchPolicy::PowerOfTwo: {
+        const int a = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+        int b = static_cast<int>(rng_.below(static_cast<uint64_t>(n - 1)));
+        if (b >= a)
+            ++b;
+        const auto len = [&](int i) {
+            finished_view_[static_cast<size_t>(i)] =
+                readers_[static_cast<size_t>(i)].read_finished(
+                    workers_[static_cast<size_t>(i)]->stats_line());
+            return assigned_[static_cast<size_t>(i)] -
+                   finished_view_[static_cast<size_t>(i)];
+        };
+        return len(a) <= len(b) ? a : b;
+      }
+      case DispatchPolicy::JsqRandom:
+      case DispatchPolicy::JsqMsq: {
+        // Refresh the JSQ view from the workers' counter lines: queue
+        // length = assigned - finished (delta-tracked across wraps).
+        uint64_t best_len = ~0ULL;
+        for (int i = 0; i < n; ++i) {
+            finished_view_[static_cast<size_t>(i)] =
+                readers_[static_cast<size_t>(i)].read_finished(
+                    workers_[static_cast<size_t>(i)]->stats_line());
+            const uint64_t len = assigned_[static_cast<size_t>(i)] -
+                                 finished_view_[static_cast<size_t>(i)];
+            best_len = std::min(best_len, len);
+        }
+        int best = -1;
+        uint32_t best_quanta = 0;
+        uint64_t tie_count = 0;
+        for (int i = 0; i < n; ++i) {
+            const uint64_t len = assigned_[static_cast<size_t>(i)] -
+                                 finished_view_[static_cast<size_t>(i)];
+            if (len != best_len)
+                continue;
+            if (cfg_.dispatch == DispatchPolicy::JsqRandom) {
+                // Reservoir-style uniform choice among ties.
+                if (rng_.below(++tie_count) == 0)
+                    best = i;
+            } else {
+                // MSQ: the tied worker whose current jobs have received
+                // the most quanta should finish them soonest (s. 3.2).
+                const uint32_t q = WorkerStatsReader::read_current_quanta(
+                    workers_[static_cast<size_t>(i)]->stats_line());
+                if (best < 0 || q > best_quanta) {
+                    best = i;
+                    best_quanta = q;
+                }
+            }
+        }
+        TQ_CHECK(best >= 0);
+        return best;
+      }
+    }
+    TQ_CHECK(false);
+    return 0;
+}
+
+void
+Runtime::dispatcher_main()
+{
+    int empty_polls = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        auto req = rx_.pop();
+        if (!req) {
+            if (++empty_polls >= 8) {
+                empty_polls = 0;
+                std::this_thread::yield();
+            } else {
+                cpu_relax();
+            }
+            continue;
+        }
+        empty_polls = 0;
+        req->arrival_cycles = rdcycles();
+        const int target = pick_worker();
+        auto &ring = workers_[static_cast<size_t>(target)]->dispatch_ring();
+        while (!ring.push(*req)) {
+            // Worker ring full: backpressure; wait for drainage.
+            if (stop_.load(std::memory_order_relaxed))
+                return;
+            std::this_thread::yield();
+        }
+        ++assigned_[static_cast<size_t>(target)];
+        ++dispatched_total_;
+    }
+}
+
+} // namespace tq::runtime

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The TQ runtime: dispatcher thread + worker threads (paper Figure 3).
+ *
+ * Datapath, matching the paper:
+ *   client -> submit() -> RX queue -> dispatcher (JSQ+MSQ over the
+ *   workers' counter cache lines) -> per-worker dispatch ring -> worker
+ *   scheduler (PS quanta via forced multitasking) -> per-worker TX ring
+ *   -> drain_responses() at the client.
+ *
+ * The dispatcher never touches job payloads beyond forwarding (blind
+ * scheduling needs no parsing, section 3.2) and never sees responses.
+ *
+ * On this reproduction's host the threads timeshare cores, so absolute
+ * throughput is not meaningful — functional behaviour, preemption and
+ * counter semantics are; capacity curves come from tq::sim (DESIGN.md).
+ */
+#ifndef TQ_RUNTIME_RUNTIME_H
+#define TQ_RUNTIME_RUNTIME_H
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "conc/mpmc_queue.h"
+#include "runtime/config.h"
+#include "runtime/worker.h"
+
+namespace tq::runtime {
+
+/** A running TQ instance. */
+class Runtime
+{
+  public:
+    /**
+     * @param handler application job body, executed inside task
+     *     coroutines with probes armed (must call tq_probe() directly or
+     *     through instrumented code to be preemptable).
+     */
+    Runtime(RuntimeConfig cfg, Handler handler);
+
+    /** Joins all threads; pending jobs are abandoned. */
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** Launch dispatcher and worker threads. */
+    void start();
+
+    /** Stop accepting work and join all threads. Idempotent. */
+    void stop();
+
+    /**
+     * Submit one request (thread-safe; multiple clients allowed).
+     * @return false when the RX queue is full (client should back off).
+     */
+    bool submit(const Request &req);
+
+    /**
+     * Collect available responses from every worker's TX ring into
+     * @p out. Single consumer. @return number collected.
+     */
+    size_t drain_responses(std::vector<Response> &out);
+
+    /** Dispatched-minus-finished per worker (dispatcher's JSQ view). */
+    std::vector<uint64_t> queue_lengths();
+
+    /** Total requests forwarded by the dispatcher. */
+    uint64_t dispatched() const { return dispatched_total_; }
+
+    const RuntimeConfig &config() const { return cfg_; }
+
+    /** Direct access for tests and examples. */
+    Worker &worker(int i) { return *workers_[static_cast<size_t>(i)]; }
+
+  private:
+    void dispatcher_main();
+    int pick_worker();
+
+    RuntimeConfig cfg_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    MpmcQueue<Request> rx_;
+    Rng rng_;
+
+    std::vector<uint64_t> assigned_;
+    std::vector<WorkerStatsReader> readers_;
+    std::vector<uint64_t> finished_view_;
+    uint64_t dispatched_total_ = 0;
+
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> threads_;
+    bool started_ = false;
+};
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_RUNTIME_H

@@ -1,0 +1,154 @@
+#include "runtime/worker.h"
+
+#include <thread>
+
+#include "common/check.h"
+#include "common/cycles.h"
+#include "probe/probe.h"
+
+namespace tq::runtime {
+
+Worker::Worker(int id, const RuntimeConfig &cfg, Handler handler)
+    : id_(id),
+      cfg_(cfg),
+      handler_(std::move(handler)),
+      quantum_cycles_(ns_to_cycles(cfg.quantum_us * 1e3)),
+      dispatch_ring_(cfg.ring_capacity),
+      tx_ring_(cfg.ring_capacity)
+{
+    TQ_CHECK(cfg_.tasks_per_worker > 0);
+    TQ_CHECK(handler_);
+    for (int t = 0; t < cfg_.tasks_per_worker; ++t) {
+        auto task = std::make_unique<Task>();
+        Task *raw = task.get();
+        // Persistent coroutine body: serve jobs forever, yielding back to
+        // the scheduler after each one (paper section 4: task coroutines
+        // are created once and recycled between idle and busy states).
+        task->coro = std::make_unique<Coroutine>([this, raw](Coroutine &self) {
+            for (;;) {
+                if (!raw->has_job) {
+                    self.yield();
+                    continue;
+                }
+                raw->result = handler_(raw->req);
+                raw->has_job = false;
+                raw->job_done = true;
+                self.yield();
+            }
+        });
+        idle_.push_back(raw);
+        tasks_.push_back(std::move(task));
+    }
+}
+
+void
+Worker::poll_admissions()
+{
+    while (!idle_.empty()) {
+        auto req = dispatch_ring_.pop();
+        if (!req)
+            return;
+        Task *task = idle_.back();
+        idle_.pop_back();
+        task->req = *req;
+        task->quanta = 0;
+        task->job_done = false;
+        task->has_job = true;
+        busy_.push_back(task);
+        ++busy_count_;
+    }
+}
+
+void
+Worker::run_one_slice()
+{
+    Task *task;
+    if (cfg_.work == WorkPolicy::Las) {
+        // Least-attained-service: resume the busy task that has consumed
+        // the fewest quanta (FIFO among equals for fresh jobs).
+        size_t best = 0;
+        for (size_t i = 1; i < busy_.size(); ++i)
+            if (busy_[i]->quanta < busy_[best]->quanta)
+                best = i;
+        task = busy_[best];
+        busy_.erase(busy_.begin() + static_cast<ptrdiff_t>(best));
+    } else {
+        task = busy_.front();
+        busy_.pop_front();
+    }
+
+    // The paper's call_the_yield binding: before resuming, point the
+    // thread-local yield hook at this task's coroutine so probes in the
+    // handler switch back here.
+    bind_yield(
+        [](void *coro) { static_cast<Coroutine *>(coro)->yield(); },
+        task->coro.get());
+    if (cfg_.work == WorkPolicy::Fcfs)
+        disarm_quantum(); // FCFS: probes never fire
+    else
+        arm_quantum(quantum_cycles_);
+    task->coro->resume();
+    disarm_quantum();
+
+    if (task->job_done) {
+        complete(task);
+    } else {
+        // Preempted: account the serviced quantum and rotate to the tail
+        // of the PS queue.
+        ++task->quanta;
+        stats_.current_quanta.fetch_add(1, std::memory_order_relaxed);
+        stats_.total_quanta.fetch_add(1, std::memory_order_relaxed);
+        busy_.push_back(task);
+    }
+}
+
+void
+Worker::complete(Task *task)
+{
+    Response resp;
+    resp.id = task->req.id;
+    resp.gen_cycles = task->req.gen_cycles;
+    resp.arrival_cycles = task->req.arrival_cycles;
+    resp.done_cycles = rdcycles();
+    resp.job_class = task->req.job_class;
+    resp.worker = id_;
+    resp.result = task->result;
+    // Response leaves directly from the worker (paper section 3.2). If
+    // the TX ring is full the collector is behind; politely wait.
+    while (!tx_ring_.push(resp))
+        std::this_thread::yield();
+
+    // Publish to the dispatcher's cache line: one more finished job, and
+    // the completed job's quanta leave the current-jobs sum.
+    stats_.finished.fetch_add(1, std::memory_order_relaxed);
+    stats_.current_quanta.fetch_sub(task->quanta,
+                                    std::memory_order_relaxed);
+    --busy_count_;
+    idle_.push_back(task);
+}
+
+void
+Worker::run(const std::atomic<bool> &stop)
+{
+    int empty_polls = 0;
+    while (true) {
+        poll_admissions();
+        if (busy_.empty()) {
+            if (stop.load(std::memory_order_relaxed))
+                break;
+            // On dedicated cores this would busy-poll; on shared hosts
+            // let other threads (dispatcher, client) make progress.
+            if (++empty_polls >= 8) {
+                empty_polls = 0;
+                std::this_thread::yield();
+            } else {
+                cpu_relax();
+            }
+            continue;
+        }
+        empty_polls = 0;
+        run_one_slice();
+    }
+}
+
+} // namespace tq::runtime

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * TQ worker: a scheduler loop multiplexing task coroutines in quanta
+ * (paper sections 3.2, 4).
+ *
+ * Each worker owns a fixed set of task coroutines, an SPSC dispatch ring
+ * filled by the dispatcher, and an SPSC TX ring it pushes responses to
+ * (responses bypass the dispatcher, as in the paper). The scheduler
+ * keeps idle/busy task lists; before resuming a task it binds the
+ * probe runtime's call_the_yield to that task's coroutine and arms the
+ * quantum, so compiler-style probes inside the handler preempt the task
+ * back to the scheduler.
+ */
+#ifndef TQ_RUNTIME_WORKER_H
+#define TQ_RUNTIME_WORKER_H
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "conc/spsc_ring.h"
+#include "coro/coroutine.h"
+#include "runtime/config.h"
+#include "runtime/request.h"
+#include "runtime/worker_stats.h"
+
+namespace tq::runtime {
+
+/** Application job handler; runs inside a task coroutine, probed. */
+using Handler = std::function<uint64_t(const Request &)>;
+
+/** One worker core's scheduler and execution state. */
+class Worker
+{
+  public:
+    Worker(int id, const RuntimeConfig &cfg, Handler handler);
+
+    /** Dispatcher-side input ring (single producer: the dispatcher). */
+    SpscRing<Request> &dispatch_ring() { return dispatch_ring_; }
+
+    /** Response output ring (single consumer: the client/collector). */
+    SpscRing<Response> &tx_ring() { return tx_ring_; }
+
+    /** The shared statistics cache line (paper section 4). */
+    WorkerStatsLine &stats_line() { return stats_; }
+
+    /** Jobs admitted but not finished (scheduler-local; tests). */
+    size_t active_jobs() const { return busy_count_; }
+
+    /**
+     * Thread body: schedule until @p stop becomes true and all admitted
+     * jobs have drained or @p abandon is also true.
+     */
+    void run(const std::atomic<bool> &stop);
+
+    int id() const { return id_; }
+
+  private:
+    struct Task
+    {
+        Request req;
+        uint64_t result = 0;
+        uint32_t quanta = 0;       ///< quanta consumed by the current job
+        bool has_job = false;
+        bool job_done = false;
+        std::unique_ptr<Coroutine> coro;
+    };
+
+    void poll_admissions();
+    void run_one_slice();
+    void complete(Task *task);
+
+    int id_;
+    const RuntimeConfig cfg_;
+    Handler handler_;
+    Cycles quantum_cycles_;
+
+    SpscRing<Request> dispatch_ring_;
+    SpscRing<Response> tx_ring_;
+    WorkerStatsLine stats_;
+
+    std::vector<std::unique_ptr<Task>> tasks_;
+    std::vector<Task *> idle_;
+    std::deque<Task *> busy_;
+    size_t busy_count_ = 0;
+};
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_WORKER_H

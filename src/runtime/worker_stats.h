@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The dispatcher/worker statistics contract (paper section 4).
+ *
+ * Each worker owns one cache line of counters that the dispatcher reads
+ * periodically: the number of finished jobs (for JSQ queue lengths, as
+ * assigned-minus-finished) and the number of quanta serviced for the
+ * worker's *current* jobs (for MSQ tie-breaking). Counters are free to
+ * wrap: the dispatcher tracks deltas between reads, so their width does
+ * not bound the totals (paper section 4).
+ */
+#ifndef TQ_RUNTIME_WORKER_STATS_H
+#define TQ_RUNTIME_WORKER_STATS_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "conc/cacheline.h"
+
+namespace tq::runtime {
+
+/** One worker's shared statistics cache line. Writer: the worker. */
+struct alignas(kCacheLineSize) WorkerStatsLine
+{
+    /** Jobs completed (monotonic modulo wrap). */
+    std::atomic<uint32_t> finished{0};
+
+    /** Sum of serviced quanta across the jobs currently admitted to the
+     *  worker (rises on each quantum, falls when a job completes). */
+    std::atomic<uint32_t> current_quanta{0};
+
+    /** Total quanta serviced (monotonic modulo wrap; stats/tests). */
+    std::atomic<uint32_t> total_quanta{0};
+
+    char pad[kCacheLineSize - 3 * sizeof(std::atomic<uint32_t>)];
+};
+
+static_assert(sizeof(WorkerStatsLine) == kCacheLineSize,
+              "stats must occupy exactly one cache line");
+
+/**
+ * Dispatcher-side view of one worker's counters: tracks cumulative
+ * totals across 32-bit wraps by accumulating deltas between reads.
+ */
+class WorkerStatsReader
+{
+  public:
+    /** Refresh from the worker's line; returns cumulative finished. */
+    uint64_t
+    read_finished(const WorkerStatsLine &line)
+    {
+        const uint32_t now = line.finished.load(std::memory_order_relaxed);
+        cumulative_finished_ += static_cast<uint32_t>(now - last_finished_);
+        last_finished_ = now;
+        return cumulative_finished_;
+    }
+
+    /** Current-jobs quanta sum (instantaneous, no wrap tracking). */
+    static uint32_t
+    read_current_quanta(const WorkerStatsLine &line)
+    {
+        return line.current_quanta.load(std::memory_order_relaxed);
+    }
+
+  private:
+    uint32_t last_finished_ = 0;
+    uint64_t cumulative_finished_ = 0;
+};
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_WORKER_STATS_H

@@ -1,0 +1,289 @@
+#include "sim/caladan.h"
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tq::sim {
+
+namespace {
+
+constexpr uint32_t kNone = ~0u;
+
+struct Event
+{
+    SimNanos time;
+    enum Kind : uint8_t { kArrival, kIoDone, kCoreDone } kind;
+    int core;
+    uint64_t seq;
+
+    bool
+    operator>(const Event &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+struct Core
+{
+    std::deque<uint32_t> runq;
+    uint32_t running = kNone;
+};
+
+class CaladanSim
+{
+  public:
+    CaladanSim(const CaladanConfig &cfg, const ServiceDist &dist,
+               double rate)
+        : cfg_(cfg),
+          dist_(dist),
+          rate_(rate),
+          rng_(cfg.seed),
+          cores_(static_cast<size_t>(cfg.num_cores)),
+          metrics_(dist.class_names(), cfg.warmup)
+    {
+        TQ_CHECK(cfg.num_cores > 0);
+        TQ_CHECK(rate > 0);
+    }
+
+    SimResult
+    run()
+    {
+        schedule(rng_.exponential(1.0 / rate_), Event::kArrival, -1);
+        const SimNanos hard_stop = cfg_.duration * 3;
+
+        while (!heap_.empty()) {
+            const Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.time;
+            if (now_ > hard_stop) {
+                saturated_ = true;
+                break;
+            }
+            if (!backlog_checked_ && now_ >= cfg_.duration)
+                check_backlog();
+            switch (ev.kind) {
+              case Event::kArrival:
+                on_arrival();
+                break;
+              case Event::kIoDone:
+                on_io_done();
+                break;
+              case Event::kCoreDone:
+                on_core_done(ev.core);
+                break;
+            }
+        }
+
+        SimResult result;
+        result.offered_rate = rate_;
+        result.duration = cfg_.duration;
+        if (!backlog_checked_)
+            check_backlog();
+        result.saturated = saturated_ || in_flight_ > 0;
+        result.dropped = dropped_;
+        metrics_.finalize(result);
+        result.throughput =
+            static_cast<double>(result.completed) / cfg_.duration;
+        return result;
+    }
+
+  private:
+    /** See TwoLevelSim::check_backlog: detect offered > capacity. */
+    void
+    check_backlog()
+    {
+        backlog_checked_ = true;
+        const size_t limit =
+            std::max<size_t>(1000, static_cast<size_t>(arrivals_ / 20));
+        if (in_flight_ > limit)
+            saturated_ = true;
+    }
+
+    uint32_t
+    alloc_job()
+    {
+        if (!free_.empty()) {
+            const uint32_t idx = free_.back();
+            free_.pop_back();
+            return idx;
+        }
+        jobs_.emplace_back();
+        return static_cast<uint32_t>(jobs_.size() - 1);
+    }
+
+    Job &job(uint32_t idx) { return jobs_[idx]; }
+
+    void
+    schedule(SimNanos t, Event::Kind kind, int core)
+    {
+        heap_.push(Event{t, kind, core, seq_++});
+    }
+
+    void
+    on_arrival()
+    {
+        if (in_flight_ >= cfg_.max_in_flight) {
+            ++dropped_;
+            saturated_ = true;
+        } else {
+            const uint32_t idx = alloc_job();
+            Job &j = job(idx);
+            const ServiceSample s = dist_.sample(rng_);
+            j.id = next_id_++;
+            j.arrival = now_;
+            j.demand = s.demand;
+            j.remaining = s.demand;
+            j.job_class = s.job_class;
+            ++in_flight_;
+            ++arrivals_;
+            if (cfg_.directpath) {
+                deliver(idx);
+            } else {
+                io_q_.push_back(idx);
+                maybe_start_io();
+            }
+        }
+        const SimNanos t = now_ + rng_.exponential(1.0 / rate_);
+        if (t < cfg_.duration)
+            schedule(t, Event::kArrival, -1);
+    }
+
+    void
+    maybe_start_io()
+    {
+        if (io_busy_ || io_q_.empty())
+            return;
+        io_busy_ = true;
+        schedule(now_ + cfg_.overheads.iokernel_cost, Event::kIoDone, -1);
+    }
+
+    void
+    on_io_done()
+    {
+        TQ_CHECK(io_busy_ && !io_q_.empty());
+        const uint32_t idx = io_q_.front();
+        io_q_.pop_front();
+        io_busy_ = false;
+        deliver(idx);
+        maybe_start_io();
+    }
+
+    /** RSS: a hash of the flow picks the core — uniform random here. */
+    void
+    deliver(uint32_t idx)
+    {
+        const int c = static_cast<int>(
+            rng_.below(static_cast<uint64_t>(cfg_.num_cores)));
+        Core &core = cores_[static_cast<size_t>(c)];
+        core.runq.push_back(idx);
+        if (core.running == kNone) {
+            start_job(c, /*steal_delay=*/0);
+            return;
+        }
+        // The hashed core is busy. Real Caladan workers poll for steals
+        // continuously, so a concurrently idle core picks the job up
+        // almost immediately; emulate by letting the first idle core
+        // steal it now (one steal_cost of delay).
+        if (cfg_.steal_attempts <= 0)
+            return;
+        for (int v = 0; v < cfg_.num_cores; ++v) {
+            Core &thief = cores_[static_cast<size_t>(v)];
+            if (v != c && thief.running == kNone) {
+                core.runq.pop_back();
+                thief.runq.push_back(idx);
+                start_job(v, cfg_.overheads.steal_cost);
+                return;
+            }
+        }
+    }
+
+    void
+    start_job(int c, SimNanos steal_delay)
+    {
+        Core &core = cores_[static_cast<size_t>(c)];
+        TQ_CHECK(core.running == kNone);
+        uint32_t idx = kNone;
+        SimNanos extra = steal_delay;
+        if (!core.runq.empty()) {
+            idx = core.runq.front();
+            core.runq.pop_front();
+        } else {
+            // Work stealing: probe random victims.
+            for (int a = 0; a < cfg_.steal_attempts; ++a) {
+                extra += cfg_.overheads.steal_cost;
+                const int v = static_cast<int>(
+                    rng_.below(static_cast<uint64_t>(cfg_.num_cores)));
+                Core &victim = cores_[static_cast<size_t>(v)];
+                if (v != c && !victim.runq.empty()) {
+                    idx = victim.runq.back(); // steal from the tail
+                    victim.runq.pop_back();
+                    break;
+                }
+            }
+        }
+        if (idx == kNone)
+            return; // park idle; next delivery wakes the core
+        core.running = idx;
+        const Job &j = job(idx);
+        const SimNanos packet_cost =
+            cfg_.directpath ? cfg_.overheads.directpath_cost : 0;
+        schedule(now_ + extra + packet_cost + j.remaining +
+                     cfg_.overheads.response_cost,
+                 Event::kCoreDone, c);
+    }
+
+    void
+    on_core_done(int c)
+    {
+        Core &core = cores_[static_cast<size_t>(c)];
+        const uint32_t idx = core.running;
+        core.running = kNone;
+        Job &j = job(idx);
+        j.remaining = 0;
+        metrics_.record(j, now_);
+        --in_flight_;
+        free_.push_back(idx);
+        start_job(c, 0);
+    }
+
+    const CaladanConfig &cfg_;
+    const ServiceDist &dist_;
+    double rate_;
+    Rng rng_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        heap_;
+    uint64_t seq_ = 0;
+    SimNanos now_ = 0;
+
+    std::vector<Job> jobs_;
+    std::vector<uint32_t> free_;
+    uint64_t next_id_ = 0;
+    size_t in_flight_ = 0;
+    uint64_t arrivals_ = 0;
+    uint64_t dropped_ = 0;
+    bool saturated_ = false;
+    bool backlog_checked_ = false;
+
+    std::deque<uint32_t> io_q_;
+    bool io_busy_ = false;
+    std::vector<Core> cores_;
+    MetricsCollector metrics_;
+};
+
+} // namespace
+
+SimResult
+run_caladan(const CaladanConfig &cfg, const ServiceDist &dist, double rate)
+{
+    CaladanSim sim(cfg, dist, rate);
+    return sim.run();
+}
+
+} // namespace tq::sim

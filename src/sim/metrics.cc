@@ -1,0 +1,60 @@
+#include "sim/metrics.h"
+
+#include "common/check.h"
+
+namespace tq::sim {
+
+const ClassStats &
+SimResult::by_class(const std::string &name) const
+{
+    for (const auto &c : classes)
+        if (c.name == name)
+            return c;
+    tq::fatal("SimResult::by_class: unknown class name");
+}
+
+MetricsCollector::MetricsCollector(std::vector<std::string> class_names,
+                                   double warmup_fraction)
+    : names_(std::move(class_names)),
+      warmup_(warmup_fraction),
+      sojourn_(names_.size()),
+      slowdown_(names_.size())
+{
+    TQ_CHECK(!names_.empty());
+}
+
+void
+MetricsCollector::record(const Job &job, SimNanos finish)
+{
+    TQ_CHECK(job.job_class >= 0 &&
+             job.job_class < static_cast<int>(names_.size()));
+    const SimNanos sojourn = finish - job.arrival;
+    TQ_DCHECK(sojourn >= 0);
+    const double slow = job.demand > 0 ? sojourn / job.demand : 1.0;
+    sojourn_[static_cast<size_t>(job.job_class)].add(sojourn);
+    slowdown_[static_cast<size_t>(job.job_class)].add(slow);
+    all_slowdown_.add(slow);
+    ++completed_;
+}
+
+void
+MetricsCollector::finalize(SimResult &result)
+{
+    result.completed = completed_;
+    result.classes.clear();
+    for (size_t c = 0; c < names_.size(); ++c) {
+        ClassStats stats;
+        stats.name = names_[c];
+        stats.completed = sojourn_[c].count();
+        stats.p999_sojourn = sojourn_[c].quantile(0.999, warmup_);
+        stats.p99_sojourn = sojourn_[c].quantile(0.99, warmup_);
+        stats.mean_sojourn = sojourn_[c].mean(warmup_);
+        stats.p999_slowdown = slowdown_[c].quantile(0.999, warmup_);
+        stats.mean_slowdown = slowdown_[c].mean(warmup_);
+        result.classes.push_back(std::move(stats));
+    }
+    result.overall_p999_slowdown = all_slowdown_.quantile(0.999, warmup_);
+    result.overall_mean_slowdown = all_slowdown_.mean(warmup_);
+}
+
+} // namespace tq::sim

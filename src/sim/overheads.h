@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-operation cost constants for the cluster simulators.
+ *
+ * The simulators reproduce queueing behaviour; these constants inject the
+ * mechanism costs. The TQ-side values are measured from the *real*
+ * mechanisms in this repository (bench/micro_mechanisms); the
+ * Shinjuku/Caladan-side values come from the paper's characterization of
+ * those systems (sections 1, 5.1, 5.6, 6, 7).
+ */
+#ifndef TQ_SIM_OVERHEADS_H
+#define TQ_SIM_OVERHEADS_H
+
+#include "common/units.h"
+
+namespace tq::sim {
+
+/** Mechanism costs, all in nanoseconds. */
+struct Overheads
+{
+    /**
+     * Cost charged to a worker core per preemption (context switch plus
+     * amortized probing). TQ: coroutine yield (tens of ns) + probe
+     * amortization. Shinjuku: ~1us interrupt delivery (paper section 1).
+     */
+    SimNanos switch_overhead = 40;
+
+    /**
+     * Dispatcher work per *job* (poll packet, pick core, push to ring).
+     * TQ's dispatcher sustains ~14 Mrps (paper section 6) => ~70 ns/job.
+     */
+    SimNanos dispatch_cost = 70;
+
+    /**
+     * Centralized scheduler work per *scheduling operation* (enqueue or
+     * quantum grant). Shinjuku-class dispatchers sustain ~5 Mrps
+     * (paper section 6) => ~200 ns/op.
+     */
+    SimNanos sched_op_cost = 210;
+
+    /** Per-request cost on the response path at the worker. */
+    SimNanos response_cost = 20;
+
+    /** Caladan IOKernel per-packet cost (serial resource). */
+    SimNanos iokernel_cost = 110;
+
+    /** Caladan directpath: extra per-request packet work on the worker. */
+    SimNanos directpath_cost = 150;
+
+    /** Cost of one work-stealing attempt (successful or not). */
+    SimNanos steal_cost = 90;
+
+    /** TQ overheads with values calibrated from the real mechanisms. */
+    static Overheads
+    tq_default()
+    {
+        return Overheads{};
+    }
+
+    /** Idealized zero-overhead scheduling (Figures 1, 4). */
+    static Overheads
+    ideal()
+    {
+        Overheads o;
+        o.switch_overhead = 0;
+        o.dispatch_cost = 0;
+        o.sched_op_cost = 0;
+        o.response_cost = 0;
+        return o;
+    }
+
+    /** Shinjuku-style interrupt-driven centralized scheduling. */
+    static Overheads
+    shinjuku_default()
+    {
+        Overheads o;
+        o.switch_overhead = us(1); // interrupt latency (paper section 1)
+        o.sched_op_cost = 210;     // ~5 Mrps centralized dispatcher
+        o.dispatch_cost = 210;
+        return o;
+    }
+};
+
+} // namespace tq::sim
+
+#endif // TQ_SIM_OVERHEADS_H

@@ -1,0 +1,73 @@
+#include "sim/sweep.h"
+
+#include "common/check.h"
+
+namespace tq::sim {
+
+std::vector<SweepPoint>
+sweep(const RunFn &fn, const std::vector<double> &rates)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(rates.size());
+    for (double r : rates) {
+        SweepPoint p;
+        p.rate = r;
+        p.result = fn(r);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+std::vector<double>
+rate_grid(double lo, double hi, int points)
+{
+    TQ_CHECK(points >= 2);
+    TQ_CHECK(lo > 0 && hi > lo);
+    std::vector<double> rates;
+    rates.reserve(static_cast<size_t>(points));
+    for (int i = 0; i < points; ++i)
+        rates.push_back(lo + (hi - lo) * i / (points - 1));
+    return rates;
+}
+
+double
+max_rate_under_slo(const RunFn &fn, const SloFn &slo, double lo, double hi,
+                   int iters)
+{
+    TQ_CHECK(lo > 0 && hi > lo);
+    if (!slo(fn(lo)))
+        return 0;
+    if (slo(fn(hi)))
+        return hi;
+    double good = lo, bad = hi;
+    for (int i = 0; i < iters; ++i) {
+        const double mid = 0.5 * (good + bad);
+        if (slo(fn(mid)))
+            good = mid;
+        else
+            bad = mid;
+    }
+    return good;
+}
+
+SloFn
+slowdown_slo(double limit)
+{
+    return [limit](const SimResult &r) {
+        return !r.saturated && r.completed > 0 &&
+               r.overall_p999_slowdown <= limit;
+    };
+}
+
+SloFn
+class_sojourn_slo(std::string name, SimNanos limit_ns)
+{
+    return [name = std::move(name), limit_ns](const SimResult &r) {
+        if (r.saturated || r.completed == 0)
+            return false;
+        const ClassStats &c = r.by_class(name);
+        return c.completed > 0 && c.p999_sojourn <= limit_ns;
+    };
+}
+
+} // namespace tq::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Load-sweep drivers for the figure benchmarks.
+ *
+ * The paper's figures plot 99.9% latency/slowdown against offered load
+ * and report "maximum load under an SLO" capacities (Figures 2, 5-12).
+ * These helpers run a user-supplied simulation functor across a rate
+ * grid and binary-search the highest rate that still meets an SLO.
+ */
+#ifndef TQ_SIM_SWEEP_H
+#define TQ_SIM_SWEEP_H
+
+#include <functional>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace tq::sim {
+
+/** Simulation functor: offered rate (req/ns) -> result. */
+using RunFn = std::function<SimResult(double rate)>;
+
+/** SLO predicate: true when the result meets the objective. */
+using SloFn = std::function<bool(const SimResult &)>;
+
+/** One point of a latency-vs-load curve. */
+struct SweepPoint
+{
+    double rate = 0; ///< offered load, req/ns
+    SimResult result;
+};
+
+/** Run @p fn at each rate of @p rates (skips nothing, keeps order). */
+std::vector<SweepPoint> sweep(const RunFn &fn,
+                              const std::vector<double> &rates);
+
+/** Evenly spaced rate grid [lo, hi] with @p points entries. */
+std::vector<double> rate_grid(double lo, double hi, int points);
+
+/**
+ * Largest rate in [lo, hi] whose result satisfies @p slo, found by
+ * bisection with @p iters refinement steps. Returns 0 when even `lo`
+ * misses the objective.
+ */
+double max_rate_under_slo(const RunFn &fn, const SloFn &slo, double lo,
+                          double hi, int iters = 12);
+
+/** SLO: 99.9% slowdown across all classes stays at or below @p limit. */
+SloFn slowdown_slo(double limit);
+
+/** SLO: 99.9% sojourn of class @p name stays at or below @p limit_ns. */
+SloFn class_sojourn_slo(std::string name, SimNanos limit_ns);
+
+} // namespace tq::sim
+
+#endif // TQ_SIM_SWEEP_H

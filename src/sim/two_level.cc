@@ -1,0 +1,447 @@
+#include "sim/two_level.h"
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tq::sim {
+
+namespace {
+
+constexpr uint32_t kNone = ~0u;
+
+/** Heap event. Smaller time first; seq breaks ties deterministically. */
+struct Event
+{
+    SimNanos time;
+    enum Kind : uint8_t { kArrival, kDispatchDone, kCoreDone } kind;
+    int core;
+    uint64_t seq;
+
+    bool
+    operator>(const Event &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+/** Per-core scheduler state. */
+struct Core
+{
+    std::deque<uint32_t> runq;   ///< admitted, not currently running
+    uint32_t running = kNone;
+    SimNanos slice = 0;          ///< service granted to `running`
+    uint64_t quanta_sum = 0;     ///< MSQ metric: serviced quanta of
+                                 ///< currently admitted jobs
+    int jobs = 0;                ///< queue length seen by JSQ
+    uint64_t finished = 0;       ///< completions (the shared counter)
+    // Figure-16 style effective-quantum accounting.
+    double grant_intervals = 0;
+    uint64_t grants = 0;
+};
+
+struct Dispatcher
+{
+    std::deque<uint32_t> q;
+    bool busy = false;
+    uint32_t in_hand = kNone;
+};
+
+class TwoLevelSim
+{
+  public:
+    TwoLevelSim(const TwoLevelConfig &cfg, const ServiceDist &dist,
+                double rate)
+        : cfg_(cfg),
+          dist_(dist),
+          rate_(rate),
+          rng_(cfg.seed),
+          cores_(static_cast<size_t>(cfg.num_cores)),
+          assigned_(static_cast<size_t>(cfg.num_cores), 0),
+          snap_finished_(static_cast<size_t>(cfg.num_cores), 0),
+          snap_quanta_(static_cast<size_t>(cfg.num_cores), 0),
+          metrics_(dist.class_names(), cfg.warmup)
+    {
+        TQ_CHECK(cfg.num_cores > 0);
+        TQ_CHECK(cfg.num_dispatchers > 0);
+        TQ_CHECK(rate > 0);
+        dispatchers_.resize(static_cast<size_t>(cfg.num_dispatchers));
+        if (!cfg_.class_quantum.empty())
+            TQ_CHECK(cfg_.class_quantum.size() ==
+                     dist.class_names().size());
+    }
+
+    SimResult
+    run()
+    {
+        schedule(next_arrival_time(0), Event::kArrival, -1);
+        const SimNanos hard_stop = cfg_.duration * 3;
+
+        while (!heap_.empty()) {
+            const Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.time;
+            if (now_ > hard_stop) {
+                saturated_ = true;
+                break;
+            }
+            if (!backlog_checked_ && now_ >= cfg_.duration)
+                check_backlog();
+            switch (ev.kind) {
+              case Event::kArrival:
+                on_arrival();
+                break;
+              case Event::kDispatchDone:
+                on_dispatch_done(ev.core);
+                break;
+              case Event::kCoreDone:
+                on_core_done(ev.core);
+                break;
+            }
+        }
+
+        SimResult result;
+        result.offered_rate = rate_;
+        result.duration = cfg_.duration;
+        if (!backlog_checked_)
+            check_backlog();
+        result.saturated = saturated_ || in_flight_ > 0;
+        result.dropped = dropped_;
+        metrics_.finalize(result);
+        result.throughput =
+            static_cast<double>(result.completed) / cfg_.duration;
+        double intervals = 0;
+        uint64_t grants = 0;
+        for (const auto &core : cores_) {
+            intervals += core.grant_intervals;
+            grants += core.grants;
+        }
+        result.avg_effective_quantum =
+            grants ? intervals / static_cast<double>(grants) : 0;
+        return result;
+    }
+
+  private:
+    /**
+     * Stability check at the end of the arrival window: a backlog much
+     * larger than any stable queueing state means the offered load
+     * exceeded capacity, even if the queue drains during the grace
+     * period afterwards.
+     */
+    void
+    check_backlog()
+    {
+        backlog_checked_ = true;
+        const size_t limit =
+            std::max<size_t>(1000, static_cast<size_t>(arrivals_ / 20));
+        if (in_flight_ > limit)
+            saturated_ = true;
+    }
+
+    // ------------------------------------------------------ job slab --
+    uint32_t
+    alloc_job()
+    {
+        if (!free_.empty()) {
+            const uint32_t idx = free_.back();
+            free_.pop_back();
+            return idx;
+        }
+        jobs_.emplace_back();
+        return static_cast<uint32_t>(jobs_.size() - 1);
+    }
+
+    void
+    free_job(uint32_t idx)
+    {
+        free_.push_back(idx);
+    }
+
+    Job &job(uint32_t idx) { return jobs_[idx]; }
+
+    // ------------------------------------------------------ schedule --
+    void
+    schedule(SimNanos t, Event::Kind kind, int core)
+    {
+        heap_.push(Event{t, kind, core, seq_++});
+    }
+
+    SimNanos
+    next_arrival_time(SimNanos from)
+    {
+        return from + rng_.exponential(1.0 / rate_);
+    }
+
+    // ------------------------------------------------------- arrivals --
+    void
+    on_arrival()
+    {
+        if (in_flight_ >= cfg_.max_in_flight) {
+            // Saturation guard: count the drop, stop admitting.
+            ++dropped_;
+            saturated_ = true;
+        } else {
+            const uint32_t idx = alloc_job();
+            Job &j = job(idx);
+            const ServiceSample s = dist_.sample(rng_);
+            j.id = next_id_++;
+            j.arrival = now_;
+            j.demand = s.demand;
+            j.remaining = s.demand * (1.0 + cfg_.probe_overhead_frac);
+            j.job_class = s.job_class;
+            j.serviced_quanta = 0;
+            ++in_flight_;
+            ++arrivals_;
+            // Spray arrivals round-robin over the dispatcher cores.
+            const int d = static_cast<int>(
+                arrivals_ % static_cast<uint64_t>(cfg_.num_dispatchers));
+            dispatchers_[static_cast<size_t>(d)].q.push_back(idx);
+            maybe_start_dispatch(d);
+        }
+        const SimNanos t = next_arrival_time(now_);
+        if (t < cfg_.duration)
+            schedule(t, Event::kArrival, -1);
+    }
+
+    void
+    maybe_start_dispatch(int d)
+    {
+        Dispatcher &disp = dispatchers_[static_cast<size_t>(d)];
+        if (disp.busy || disp.q.empty())
+            return;
+        disp.busy = true;
+        disp.in_hand = disp.q.front();
+        disp.q.pop_front();
+        schedule(now_ + cfg_.overheads.dispatch_cost, Event::kDispatchDone,
+                 d);
+    }
+
+    void
+    on_dispatch_done(int d)
+    {
+        Dispatcher &disp = dispatchers_[static_cast<size_t>(d)];
+        const uint32_t idx = disp.in_hand;
+        disp.in_hand = kNone;
+        disp.busy = false;
+
+        const int target = pick_core();
+        Core &core = cores_[static_cast<size_t>(target)];
+        core.runq.push_back(idx);
+        ++core.jobs;
+        ++assigned_[static_cast<size_t>(target)];
+        core.quanta_sum += job(idx).serviced_quanta; // 0 for fresh jobs
+        if (core.running == kNone)
+            start_slice(target);
+
+        maybe_start_dispatch(d);
+    }
+
+    // -------------------------------------------------- load balancing --
+    /**
+     * Dispatcher's view of worker w's queue length and quanta: its own
+     * assignment count minus the worker's finished counter as of the
+     * last refresh of the shared cache lines (paper section 4).
+     */
+    void
+    refresh_stats_if_due()
+    {
+        if (cfg_.stats_refresh_period > 0 &&
+            now_ - last_refresh_ < cfg_.stats_refresh_period)
+            return;
+        last_refresh_ = now_;
+        for (int w = 0; w < cfg_.num_cores; ++w) {
+            snap_finished_[static_cast<size_t>(w)] =
+                cores_[static_cast<size_t>(w)].finished;
+            snap_quanta_[static_cast<size_t>(w)] =
+                cores_[static_cast<size_t>(w)].quanta_sum;
+        }
+    }
+
+    long
+    viewed_len(int w) const
+    {
+        return static_cast<long>(assigned_[static_cast<size_t>(w)]) -
+               static_cast<long>(snap_finished_[static_cast<size_t>(w)]);
+    }
+
+    int
+    pick_core()
+    {
+        refresh_stats_if_due();
+        const int n = cfg_.num_cores;
+        switch (cfg_.lb) {
+          case LbPolicy::Random:
+            return static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+          case LbPolicy::PowerOfTwo: {
+            const int a =
+                static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+            int b = static_cast<int>(
+                rng_.below(static_cast<uint64_t>(n - 1)));
+            if (b >= a)
+                ++b;
+            const long qa = viewed_len(a);
+            const long qb = viewed_len(b);
+            if (qa != qb)
+                return qa < qb ? a : b;
+            return rng_.bernoulli(0.5) ? a : b;
+          }
+          case LbPolicy::JsqRandom:
+          case LbPolicy::JsqMsq: {
+            long best_len = viewed_len(0);
+            for (int c = 1; c < n; ++c)
+                best_len = std::min(best_len, viewed_len(c));
+            // Collect ties.
+            ties_.clear();
+            for (int c = 0; c < n; ++c)
+                if (viewed_len(c) == best_len)
+                    ties_.push_back(c);
+            if (ties_.size() == 1)
+                return ties_[0];
+            if (cfg_.lb == LbPolicy::JsqRandom)
+                return ties_[rng_.below(ties_.size())];
+            // MSQ: the core whose current jobs have received the most
+            // quanta is expected to finish them soonest (section 3.2).
+            int best = ties_[0];
+            uint64_t best_quanta = snap_quanta_[static_cast<size_t>(best)];
+            for (size_t i = 1; i < ties_.size(); ++i) {
+                const int c = ties_[i];
+                const uint64_t q = snap_quanta_[static_cast<size_t>(c)];
+                if (q > best_quanta) {
+                    best = c;
+                    best_quanta = q;
+                }
+            }
+            return best;
+          }
+        }
+        TQ_CHECK(false);
+        return 0;
+    }
+
+    // ------------------------------------------------------- workers --
+    /** Service received so far (LAS priority key). */
+    double
+    attained(uint32_t idx)
+    {
+        const Job &j = job(idx);
+        return j.demand * (1.0 + cfg_.probe_overhead_frac) - j.remaining;
+    }
+
+    SimNanos
+    quantum_for(const Job &j) const
+    {
+        if (!cfg_.class_quantum.empty())
+            return cfg_.class_quantum[static_cast<size_t>(j.job_class)];
+        return cfg_.quantum;
+    }
+
+    void
+    start_slice(int c)
+    {
+        Core &core = cores_[static_cast<size_t>(c)];
+        TQ_CHECK(core.running == kNone);
+        if (core.runq.empty())
+            return;
+        if (cfg_.core_policy == CorePolicy::Las) {
+            // Least-attained-service first: serve the job that has
+            // received the least service so far (FIFO among equals).
+            size_t best = 0;
+            double best_attained = attained(core.runq[0]);
+            for (size_t i = 1; i < core.runq.size(); ++i) {
+                const double a = attained(core.runq[i]);
+                if (a < best_attained) {
+                    best_attained = a;
+                    best = i;
+                }
+            }
+            core.running = core.runq[best];
+            core.runq.erase(core.runq.begin() +
+                            static_cast<ptrdiff_t>(best));
+        } else {
+            core.running = core.runq.front();
+            core.runq.pop_front();
+        }
+        Job &j = job(core.running);
+        const SimNanos slice =
+            cfg_.core_policy == CorePolicy::Fcfs
+                ? j.remaining
+                : std::min(quantum_for(j), j.remaining);
+        TQ_DCHECK(slice > 0);
+        core.slice = slice;
+        const SimNanos busy = slice + cfg_.overheads.switch_overhead;
+        // Effective-quantum metric (Figure 16): spacing between grants
+        // net of the constant per-slice mechanism overhead.
+        core.grant_intervals += slice;
+        ++core.grants;
+        schedule(now_ + busy, Event::kCoreDone, c);
+    }
+
+    void
+    on_core_done(int c)
+    {
+        Core &core = cores_[static_cast<size_t>(c)];
+        const uint32_t idx = core.running;
+        core.running = kNone;
+        Job &j = job(idx);
+        j.remaining -= core.slice;
+
+        if (j.remaining <= 1e-9) {
+            // Done: response leaves directly from the worker.
+            --core.jobs;
+            ++core.finished;
+            core.quanta_sum -= j.serviced_quanta;
+            metrics_.record(j, now_ + cfg_.overheads.response_cost);
+            --in_flight_;
+            free_job(idx);
+        } else {
+            ++j.serviced_quanta;
+            ++core.quanta_sum;
+            core.runq.push_back(idx); // PS: back of the round-robin queue
+        }
+        start_slice(c);
+    }
+
+    const TwoLevelConfig &cfg_;
+    const ServiceDist &dist_;
+    double rate_;
+    Rng rng_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        heap_;
+    uint64_t seq_ = 0;
+    SimNanos now_ = 0;
+
+    std::vector<Job> jobs_;
+    std::vector<uint32_t> free_;
+    uint64_t next_id_ = 0;
+    size_t in_flight_ = 0;
+    uint64_t arrivals_ = 0;
+    uint64_t dropped_ = 0;
+    bool saturated_ = false;
+    bool backlog_checked_ = false;
+
+    std::vector<Dispatcher> dispatchers_;
+    std::vector<Core> cores_;
+    std::vector<uint64_t> assigned_;
+    std::vector<uint64_t> snap_finished_;
+    std::vector<uint64_t> snap_quanta_;
+    SimNanos last_refresh_ = -1;
+    std::vector<int> ties_;
+    MetricsCollector metrics_;
+};
+
+} // namespace
+
+SimResult
+run_two_level(const TwoLevelConfig &cfg, const ServiceDist &dist, double rate)
+{
+    TwoLevelSim sim(cfg, dist, rate);
+    return sim.run();
+}
+
+} // namespace tq::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Discrete-event simulator of TQ's two-level scheduling cluster
+ * (paper section 3.2): a dispatcher doing only load balancing feeding
+ * per-core quantum schedulers.
+ *
+ * The dispatcher is a serial resource (dispatch_cost per job) applying a
+ * blind load-balancing policy — JSQ with MSQ or random tie-breaking,
+ * uniform random, or power-of-two choices. Each worker core schedules
+ * its admitted jobs with processor sharing in `quantum`-sized slices
+ * (switch_overhead charged per preemption) or FCFS run-to-completion.
+ * Responses leave directly from the worker (response_cost), matching the
+ * paper's datapath.
+ *
+ * This simulator also models the TQ variants of the breakdown study
+ * (section 5.4): per-class quantum overrides (TQ-TIMING), alternative
+ * load balancers (TQ-RAND, TQ-POWER-TWO) and FCFS cores (TQ-FCFS);
+ * TQ-IC / TQ-SLOW-YIELD are expressed through `switch_overhead` /
+ * `probe_overhead_frac`.
+ */
+#ifndef TQ_SIM_TWO_LEVEL_H
+#define TQ_SIM_TWO_LEVEL_H
+
+#include "common/dist.h"
+#include "sim/metrics.h"
+#include "sim/overheads.h"
+
+namespace tq::sim {
+
+/** Dispatcher load-balancing policies (paper sections 3.2, 5.4). */
+enum class LbPolicy {
+    JsqMsq,      ///< join-shortest-queue, Maximum-Serviced-Quanta ties
+    JsqRandom,   ///< join-shortest-queue, random ties
+    Random,      ///< uniform random core
+    PowerOfTwo,  ///< least-loaded of two random cores
+};
+
+/** Per-core quantum scheduling policies. */
+enum class CorePolicy {
+    ProcessorSharing, ///< round-robin quanta over admitted jobs
+    Fcfs,             ///< run to completion in arrival order
+    Las,              ///< least-attained-service first (the dynamic-
+                      ///< quantum policy class TQ's probes support,
+                      ///< paper section 3.1)
+};
+
+/** Configuration of one two-level simulation run. */
+struct TwoLevelConfig
+{
+    int num_cores = 16;
+
+    /**
+     * Dispatcher cores. The paper's TQ uses one (~14 Mrps); section 6
+     * suggests scaling out with multiple load-balancing dispatchers.
+     * Arrivals are sprayed round-robin across dispatchers; each is its
+     * own serial resource. Queue-length views stay exact (shared worker
+     * counters), so this models the throughput scaling of the proposal.
+     */
+    int num_dispatchers = 1;
+    SimNanos quantum = us(2);
+    CorePolicy core_policy = CorePolicy::ProcessorSharing;
+    LbPolicy lb = LbPolicy::JsqMsq;
+    Overheads overheads = Overheads::tq_default();
+
+    /**
+     * Per-class quantum override (TQ-TIMING variant): when non-empty,
+     * class c is scheduled with class_quantum[c] instead of `quantum`,
+     * emulating inaccurate preemption timing.
+     */
+    std::vector<SimNanos> class_quantum;
+
+    /**
+     * Fractional slowdown of job execution due to probing (TQ-IC
+     * variant): a job with demand d occupies the core for d * (1 +
+     * probe_overhead_frac).
+     */
+    double probe_overhead_frac = 0.0;
+
+    /**
+     * How often the dispatcher re-reads the workers' counter cache
+     * lines (paper section 4: "periodically read by the dispatcher").
+     * Between refreshes it sees stale finished/quanta counts, though it
+     * always knows its own assignments. 0 = refresh on every decision.
+     */
+    SimNanos stats_refresh_period = 0;
+
+    SimNanos duration = ms(200); ///< arrival-generation window
+    double warmup = 0.1;         ///< discarded sample prefix
+    uint64_t seed = 1;
+    size_t max_in_flight = 1u << 20; ///< saturation guard
+};
+
+/**
+ * Run one simulation.
+ * @param dist workload service-time distribution (paper Table 1).
+ * @param rate offered load in requests per nanosecond (see tq::mrps()).
+ */
+SimResult run_two_level(const TwoLevelConfig &cfg, const ServiceDist &dist,
+                        double rate);
+
+} // namespace tq::sim
+
+#endif // TQ_SIM_TWO_LEVEL_H

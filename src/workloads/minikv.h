@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MiniKV — an in-memory ordered key-value store standing in for the
+ * paper's RocksDB instance (sections 5.1, 5.5.2).
+ *
+ * A skiplist memtable (RocksDB's default) with the two operations the
+ * paper's workload issues: GET (point lookup, ~1us class) and SCAN
+ * (long range iteration, ~hundreds-of-us class). Both operations are
+ * instrumented with TQ probes exactly as the paper's compiler pass would
+ * instrument them — a probe every few loop iterations — so MiniKV jobs
+ * are preemptable under forced multitasking.
+ *
+ * For the reuse-distance study (Figure 15), an optional trace hook
+ * records the address of every node and value touched.
+ */
+#ifndef TQ_WORKLOADS_MINIKV_H
+#define TQ_WORKLOADS_MINIKV_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tq::workloads {
+
+/** Ordered in-memory KV store with probed GET/SCAN operations. */
+class MiniKV
+{
+  public:
+    static constexpr int kMaxLevel = 16;
+
+    /**
+     * @param seed randomness for skiplist tower heights.
+     * @param value_size bytes stored per value.
+     */
+    explicit MiniKV(uint64_t seed = 1, size_t value_size = 100);
+    ~MiniKV();
+
+    MiniKV(const MiniKV &) = delete;
+    MiniKV &operator=(const MiniKV &) = delete;
+
+    /** Insert or overwrite @p key. Not probed (loading is offline). */
+    void put(uint64_t key, std::string_view value);
+
+    /**
+     * Point lookup (the paper's ~1.2us GET class at RocksDB scale).
+     * Probed: safe to run inside a TQ task coroutine.
+     * @return true and fills @p value_out when the key exists.
+     */
+    bool get(uint64_t key, std::string *value_out) const;
+
+    /**
+     * Range scan of up to @p count entries starting at the first key
+     * >= @p start_key (the paper's ~675us SCAN class). Probed.
+     * @return number of entries visited; @p checksum_out accumulates a
+     *     value checksum so the work cannot be optimized away.
+     */
+    size_t scan(uint64_t start_key, size_t count,
+                uint64_t *checksum_out) const;
+
+    size_t size() const { return size_; }
+
+    /**
+     * Install a memory-access trace sink: every node/value byte-range
+     * touched by subsequent get/scan calls appends its address. Pass
+     * nullptr to disable. Not thread-safe with concurrent operations.
+     */
+    void set_trace(std::vector<uint64_t> *sink) { trace_ = sink; }
+
+    /** Bulk-load @p n keys 0..n-1 with deterministic values. */
+    void load_sequential(size_t n);
+
+  private:
+    struct Node;
+
+    Node *find_greater_or_equal(uint64_t key, Node **prev) const;
+    int random_height();
+    void touch(const void *addr) const;
+
+    Node *head_;
+    size_t value_size_;
+    /** Per-operation state (search key, iterator position) that real
+     *  store code re-touches throughout an operation — the source of
+     *  intra-op locality the reuse study measures (paper section 5.5). */
+    mutable char op_state_[128] = {};
+    size_t size_ = 0;
+    int max_height_ = 1;
+    mutable Rng rng_;
+    std::vector<uint64_t> *trace_ = nullptr;
+};
+
+} // namespace tq::workloads
+
+#endif // TQ_WORKLOADS_MINIKV_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Calibrated synthetic jobs.
+ *
+ * The paper's synthetic workloads (Extreme/High Bimodal, Exp(1)) are
+ * spin loops of a target duration. spin_for() busy-works for the given
+ * time with a TQ probe every iteration (~tens of ns apart), making the
+ * synthetic jobs preemptable under forced multitasking exactly like
+ * compiler-instrumented application code.
+ */
+#ifndef TQ_WORKLOADS_SPIN_H
+#define TQ_WORKLOADS_SPIN_H
+
+#include "common/cycles.h"
+#include "common/units.h"
+
+namespace tq::workloads {
+
+/**
+ * Busy-work for approximately @p duration nanoseconds of *service time*
+ * on this core, probing for preemption along the way. Time spent
+ * preempted (after a probe yields) does not count toward the duration:
+ * the function tracks consumed cycles across resumes.
+ */
+void spin_for(SimNanos duration);
+
+/**
+ * Busy-work for an exact number of cycles (the low-level primitive
+ * behind spin_for; exposed for calibration benchmarks).
+ */
+void spin_cycles(Cycles cycles);
+
+} // namespace tq::workloads
+
+#endif // TQ_WORKLOADS_SPIN_H

@@ -1,0 +1,232 @@
+#include "workloads/tpcc.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "probe/probe.h"
+
+namespace tq::workloads {
+
+namespace {
+
+/**
+ * Burn @p units of CPU work (~30ns each) with a probe per unit: stands
+ * in for the parsing/logging/B-tree work a real OLTP engine does around
+ * its row accesses, and sets the Table-1 duration ratios.
+ */
+uint64_t
+burn(int units, uint64_t x)
+{
+    for (int u = 0; u < units; ++u) {
+        for (int i = 0; i < 10; ++i)
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        tq_probe();
+    }
+    return x;
+}
+
+} // namespace
+
+TpccTxn
+sample_tpcc_mix(Rng &rng)
+{
+    const double u = rng.uniform();
+    if (u < 0.44)
+        return TpccTxn::Payment;
+    if (u < 0.48)
+        return TpccTxn::OrderStatus;
+    if (u < 0.92)
+        return TpccTxn::NewOrder;
+    if (u < 0.96)
+        return TpccTxn::Delivery;
+    return TpccTxn::StockLevel;
+}
+
+TpccEmulator::TpccEmulator(uint64_t seed)
+    : district_ytd_(kDistricts, 0),
+      customers_(kDistricts * kCustomersPerDistrict),
+      stock_(kItems),
+      committed_(5, 0)
+{
+    Rng rng(seed);
+    for (auto &c : customers_)
+        c.balance = rng.uniform(-100, 100);
+    for (auto &s : stock_)
+        s.quantity = static_cast<int32_t>(rng.below(91) + 10);
+    // Seed some open orders so Delivery/StockLevel have work on start.
+    for (int i = 0; i < 100; ++i) {
+        Rng r(seed + 1000 + static_cast<uint64_t>(i));
+        do_new_order(r);
+    }
+    committed_.assign(5, 0);
+}
+
+uint64_t
+TpccEmulator::run(TpccTxn txn, Rng &rng)
+{
+    uint64_t result = 0;
+    switch (txn) {
+      case TpccTxn::Payment:
+        result = do_payment(rng);
+        break;
+      case TpccTxn::OrderStatus:
+        result = do_order_status(rng);
+        break;
+      case TpccTxn::NewOrder:
+        result = do_new_order(rng);
+        break;
+      case TpccTxn::Delivery:
+        result = do_delivery(rng);
+        break;
+      case TpccTxn::StockLevel:
+        result = do_stock_level(rng);
+        break;
+    }
+    ++committed_[static_cast<size_t>(txn)];
+    return result;
+}
+
+uint64_t
+TpccEmulator::do_payment(Rng &rng)
+{
+    const uint32_t d = static_cast<uint32_t>(rng.below(kDistricts));
+    const uint32_t c = static_cast<uint32_t>(
+        d * kCustomersPerDistrict + rng.below(kCustomersPerDistrict));
+    const double amount = rng.uniform(1, 5000);
+
+    warehouse_ytd_ += amount;
+    district_ytd_[d] += amount;
+    Customer &cust = customers_[c];
+    cust.balance -= amount;
+    cust.ytd_payment += amount;
+    ++cust.payment_count;
+    std::memset(cust.data, static_cast<int>(cust.payment_count & 0xff),
+                sizeof(cust.data));
+    tq_probe();
+    // Ratio target: 5.7us class.
+    return burn(80, static_cast<uint64_t>(amount));
+}
+
+uint64_t
+TpccEmulator::do_order_status(Rng &rng)
+{
+    const uint32_t d = static_cast<uint32_t>(rng.below(kDistricts));
+    const uint32_t c = static_cast<uint32_t>(
+        d * kCustomersPerDistrict + rng.below(kCustomersPerDistrict));
+    uint64_t sum = static_cast<uint64_t>(customers_[c].payment_count);
+    // Find this customer's most recent order (reverse scan, probed).
+    for (size_t i = orders_.size(); i-- > 0;) {
+        tq_probe();
+        if (orders_[i].customer == c) {
+            for (const auto &line : orders_[i].lines)
+                sum += line.item + line.quantity;
+            break;
+        }
+    }
+    // Ratio target: 6us class.
+    return burn(85, sum);
+}
+
+uint64_t
+TpccEmulator::do_new_order(Rng &rng)
+{
+    const uint32_t d = static_cast<uint32_t>(rng.below(kDistricts));
+    const uint32_t c = static_cast<uint32_t>(
+        d * kCustomersPerDistrict + rng.below(kCustomersPerDistrict));
+    Order order;
+    order.district = d;
+    order.customer = c;
+    uint64_t sum = 0;
+    const int n_lines = 5 + static_cast<int>(rng.below(11)); // 5..15
+    for (int l = 0; l < n_lines; ++l) {
+        const uint32_t item = static_cast<uint32_t>(rng.below(kItems));
+        Stock &s = stock_[item];
+        const uint32_t qty = static_cast<uint32_t>(rng.below(10) + 1);
+        if (s.quantity >= static_cast<int32_t>(qty) + 10) {
+            s.quantity -= static_cast<int32_t>(qty);
+        } else {
+            s.quantity += 91 - static_cast<int32_t>(qty);
+        }
+        ++s.order_count;
+        order.lines.push_back(
+            OrderLine{item, qty, static_cast<double>(qty) * 10.0});
+        sum += s.order_count;
+        tq_probe();
+    }
+    const uint32_t order_id = static_cast<uint32_t>(orders_.size());
+    orders_.push_back(std::move(order));
+    open_orders_.push_back(order_id);
+    // Bound table growth across long benchmark runs.
+    if (orders_.size() > 200'000 && open_orders_.size() < 1000)
+        compact_orders();
+    // Ratio target: 20us class.
+    return burn(320, sum);
+}
+
+uint64_t
+TpccEmulator::do_delivery(Rng &rng)
+{
+    (void)rng;
+    uint64_t sum = 0;
+    // Deliver the oldest open order of each district.
+    for (uint32_t d = 0; d < kDistricts; ++d) {
+        for (size_t i = 0; i < open_orders_.size(); ++i) {
+            tq_probe();
+            Order &o = orders_[open_orders_[i]];
+            if (o.district != d || o.delivered)
+                continue;
+            o.delivered = true;
+            double total = 0;
+            for (const auto &line : o.lines) {
+                total += line.amount;
+                tq_probe();
+            }
+            customers_[o.customer].balance += total;
+            sum += o.lines.size();
+            open_orders_.erase(open_orders_.begin() +
+                               static_cast<ptrdiff_t>(i));
+            break;
+        }
+    }
+    // Ratio target: 88us class.
+    return burn(1500, sum);
+}
+
+uint64_t
+TpccEmulator::do_stock_level(Rng &rng)
+{
+    (void)rng;
+    uint64_t low = 0;
+    // Examine the lines of the most recent 20 orders.
+    const size_t start = orders_.size() > 20 ? orders_.size() - 20 : 0;
+    for (size_t i = start; i < orders_.size(); ++i) {
+        for (const auto &line : orders_[i].lines) {
+            if (stock_[line.item].quantity < 15)
+                ++low;
+            tq_probe();
+        }
+    }
+    // Ratio target: 100us class.
+    return burn(1700, low);
+}
+
+void
+TpccEmulator::compact_orders()
+{
+    // Drop delivered orders; remap open order ids.
+    std::vector<Order> kept;
+    std::vector<uint32_t> remap(orders_.size(), ~0u);
+    kept.reserve(open_orders_.size() + 1024);
+    for (size_t i = 0; i < orders_.size(); ++i) {
+        if (!orders_[i].delivered) {
+            remap[i] = static_cast<uint32_t>(kept.size());
+            kept.push_back(std::move(orders_[i]));
+        }
+    }
+    for (auto &id : open_orders_)
+        id = remap[id];
+    orders_ = std::move(kept);
+}
+
+} // namespace tq::workloads

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * TPC-C transaction emulator (paper Table 1's multi-modal OLTP
+ * workload).
+ *
+ * An in-memory OLTP engine scaled down to microsecond transactions: one
+ * warehouse with districts, customers, items, stock, orders and order
+ * lines in flat tables. The five transaction types perform their
+ * representative row reads/updates with TQ probes inside every loop, so
+ * transactions are preemptable mid-flight. Work per type is sized so
+ * the *ratios* of service times track Table 1
+ * (Payment 5.7 : OrderStatus 6 : NewOrder 20 : Delivery 88 :
+ * StockLevel 100); absolute times depend on the host.
+ */
+#ifndef TQ_WORKLOADS_TPCC_H
+#define TQ_WORKLOADS_TPCC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tq::workloads {
+
+/** TPC-C transaction types of paper Table 1. */
+enum class TpccTxn {
+    Payment,
+    OrderStatus,
+    NewOrder,
+    Delivery,
+    StockLevel,
+};
+
+/** Table-1 mix: Payment 44%, OrderStatus 4%, NewOrder 44%, Delivery 4%,
+ *  StockLevel 4%. */
+TpccTxn sample_tpcc_mix(Rng &rng);
+
+/** Scaled-down single-warehouse TPC-C engine. */
+class TpccEmulator
+{
+  public:
+    static constexpr int kDistricts = 10;
+    static constexpr int kCustomersPerDistrict = 300;
+    static constexpr int kItems = 2000;
+
+    explicit TpccEmulator(uint64_t seed = 1);
+
+    /**
+     * Execute one transaction; returns a result checksum (forces the
+     * work to be real). Probed: safe inside TQ task coroutines.
+     */
+    uint64_t run(TpccTxn txn, Rng &rng);
+
+    /** Number of open orders (grows with NewOrder, shrinks w/ Delivery). */
+    size_t open_orders() const { return open_orders_.size(); }
+
+    /** Total committed transactions per type, indexed by TpccTxn. */
+    const std::vector<uint64_t> &committed() const { return committed_; }
+
+  private:
+    struct Customer
+    {
+        double balance = 0;
+        double ytd_payment = 0;
+        uint32_t payment_count = 0;
+        char data[64] = {};
+    };
+
+    struct Stock
+    {
+        int32_t quantity = 50;
+        uint32_t order_count = 0;
+        char dist_info[32] = {};
+    };
+
+    struct OrderLine
+    {
+        uint32_t item = 0;
+        uint32_t quantity = 0;
+        double amount = 0;
+    };
+
+    struct Order
+    {
+        uint32_t district = 0;
+        uint32_t customer = 0;
+        bool delivered = false;
+        std::vector<OrderLine> lines;
+    };
+
+    uint64_t do_payment(Rng &rng);
+    uint64_t do_order_status(Rng &rng);
+    uint64_t do_new_order(Rng &rng);
+    uint64_t do_delivery(Rng &rng);
+    uint64_t do_stock_level(Rng &rng);
+    void compact_orders();
+
+    double warehouse_ytd_ = 0;
+    std::vector<double> district_ytd_;
+    std::vector<Customer> customers_; ///< district-major
+    std::vector<Stock> stock_;
+    std::vector<Order> orders_;
+    std::vector<uint32_t> open_orders_; ///< undelivered order ids
+    std::vector<uint64_t> committed_;
+};
+
+} // namespace tq::workloads
+
+#endif // TQ_WORKLOADS_TPCC_H

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the real baseline runtimes: the Shinjuku-style centralized
+ * preemptive scheduler (quanta granted from a global queue, jobs migrate
+ * between workers) and the Caladan-style FCFS work-stealing runtime.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/centralized.h"
+#include "baselines/stealing.h"
+#include "workloads/spin.h"
+
+namespace tq::baselines {
+namespace {
+
+runtime::Handler
+spin_handler()
+{
+    return [](const runtime::Request &req) {
+        workloads::spin_for(static_cast<double>(req.payload));
+        return req.id;
+    };
+}
+
+runtime::Request
+make_spin_request(uint64_t id, double ns, int job_class = 0)
+{
+    runtime::Request req;
+    req.id = id;
+    req.gen_cycles = rdcycles();
+    req.job_class = job_class;
+    req.payload = static_cast<uint64_t>(ns);
+    return req;
+}
+
+template <typename Server>
+std::vector<runtime::Response>
+run_requests(Server &server, const std::vector<runtime::Request> &reqs,
+             double timeout_sec = 120.0)
+{
+    for (const auto &r : reqs)
+        while (!server.submit(r))
+            std::this_thread::yield();
+    std::vector<runtime::Response> responses;
+    const Cycles deadline = rdcycles() + ns_to_cycles(timeout_sec * 1e9);
+    while (responses.size() < reqs.size() && rdcycles() < deadline) {
+        server.drain(responses);
+        std::this_thread::yield();
+    }
+    return responses;
+}
+
+TEST(Centralized, EndToEndAllRequestsAnswered)
+{
+    CentralizedConfig cfg;
+    cfg.num_workers = 2;
+    CentralizedRuntime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<runtime::Request> reqs;
+    for (uint64_t i = 0; i < 200; ++i)
+        reqs.push_back(make_spin_request(i, 2000 + (i % 4) * 1000));
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    std::map<uint64_t, int> seen;
+    for (const auto &r : responses) {
+        ++seen[r.id];
+        EXPECT_EQ(r.result, r.id);
+    }
+    EXPECT_EQ(seen.size(), reqs.size());
+    rt.stop();
+}
+
+TEST(Centralized, PreemptsLongJobsSoShortsOvertake)
+{
+    CentralizedConfig cfg;
+    cfg.num_workers = 1;
+    cfg.quantum_us = 5.0;
+    CentralizedRuntime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<runtime::Request> reqs;
+    reqs.push_back(make_spin_request(999, 10e6, 1)); // 10ms
+    for (uint64_t i = 0; i < 10; ++i)
+        reqs.push_back(make_spin_request(i, 20e3, 0));
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    Cycles long_done = 0;
+    Cycles last_short = 0;
+    for (const auto &r : responses) {
+        if (r.id == 999)
+            long_done = r.done_cycles;
+        else
+            last_short = std::max(last_short, r.done_cycles);
+    }
+    EXPECT_LT(last_short, long_done)
+        << "single-queue PS must let shorts pass the 10ms job";
+    // The 10ms job at 5us quanta needs ~2000 grants.
+    EXPECT_GT(rt.grants(), 500u);
+    rt.stop();
+}
+
+TEST(Centralized, JobsMigrateAcrossWorkers)
+{
+    // With 2 workers and one long preemptable job plus a stream of
+    // shorts, the long job's quanta land on both workers over time. We
+    // verify indirectly: both workers complete jobs, and the system
+    // stays correct while coroutines hop threads (the property that
+    // matters for centralized scheduling's cache behaviour).
+    CentralizedConfig cfg;
+    cfg.num_workers = 2;
+    cfg.quantum_us = 5.0;
+    CentralizedRuntime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<runtime::Request> reqs;
+    for (uint64_t i = 0; i < 6; ++i)
+        reqs.push_back(make_spin_request(i, 2e6, 0)); // 6 x 2ms
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    int per_worker[2] = {0, 0};
+    for (const auto &r : responses)
+        ++per_worker[r.worker];
+    EXPECT_GT(per_worker[0], 0);
+    EXPECT_GT(per_worker[1], 0);
+    rt.stop();
+}
+
+TEST(Stealing, EndToEndAllRequestsAnswered)
+{
+    StealingConfig cfg;
+    cfg.num_workers = 2;
+    StealingRuntime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<runtime::Request> reqs;
+    for (uint64_t i = 0; i < 200; ++i)
+        reqs.push_back(make_spin_request(i, 2000));
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    rt.stop();
+}
+
+TEST(Stealing, IdleWorkerStealsFromLoadedQueue)
+{
+    // All requests hash-steered wherever; with 4 workers and a burst of
+    // jobs, steals must happen (idle workers raid busy queues).
+    StealingConfig cfg;
+    cfg.num_workers = 4;
+    cfg.steal_attempts = 3;
+    StealingRuntime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<runtime::Request> reqs;
+    for (uint64_t i = 0; i < 400; ++i)
+        reqs.push_back(make_spin_request(i, 5000));
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    EXPECT_GT(rt.steals(), 0u);
+    rt.stop();
+}
+
+TEST(Stealing, FcfsNeverPreempts)
+{
+    // A long job followed by shorts hashed to the same queue: with one
+    // worker, the long job must finish before any short (pure FCFS).
+    StealingConfig cfg;
+    cfg.num_workers = 1;
+    StealingRuntime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<runtime::Request> reqs;
+    reqs.push_back(make_spin_request(999, 3e6, 1));
+    for (uint64_t i = 0; i < 5; ++i)
+        reqs.push_back(make_spin_request(i, 10e3, 0));
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    Cycles long_done = 0;
+    Cycles first_short = ~Cycles{0};
+    for (const auto &r : responses) {
+        if (r.id == 999)
+            long_done = r.done_cycles;
+        else
+            first_short = std::min(first_short, r.done_cycles);
+    }
+    EXPECT_LT(long_done, first_short);
+    rt.stop();
+}
+
+} // namespace
+} // namespace tq::baselines

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for tq_common: RNG, distributions, percentiles, histograms,
+ * unit conversions, and the cycle clock.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/cycles.h"
+#include "common/dist.h"
+#include "common/histogram.h"
+#include "common/percentile.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace tq {
+namespace {
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(us(2.0), 2000.0);
+    EXPECT_DOUBLE_EQ(ms(1.0), 1e6);
+    EXPECT_DOUBLE_EQ(sec(1.0), 1e9);
+    EXPECT_DOUBLE_EQ(to_us(us(3.5)), 3.5);
+    EXPECT_DOUBLE_EQ(to_sec(sec(2.0)), 2.0);
+    // 1 Mrps = 1e-3 requests per nanosecond.
+    EXPECT_DOUBLE_EQ(mrps(1.0), 1e-3);
+    EXPECT_DOUBLE_EQ(to_mrps(mrps(4.5)), 4.5);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t va = a();
+        EXPECT_EQ(va, b());
+        diverged |= (va != c());
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    double sum = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.below(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600); // ~6 sigma
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(3);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(5.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(FixedDist, AlwaysSameValue)
+{
+    FixedDist d(us(3), "spin");
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i) {
+        const auto s = d.sample(rng);
+        EXPECT_DOUBLE_EQ(s.demand, us(3));
+        EXPECT_EQ(s.job_class, 0);
+    }
+    EXPECT_DOUBLE_EQ(d.mean(), us(3));
+    EXPECT_EQ(d.class_names().size(), 1u);
+}
+
+TEST(ExponentialDist, MeanMatches)
+{
+    ExponentialDist d(us(1));
+    Rng rng(2);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(rng).demand;
+    EXPECT_NEAR(sum / n, us(1), us(0.02));
+    EXPECT_DOUBLE_EQ(d.mean(), us(1));
+}
+
+TEST(MixtureDist, ClassFrequenciesMatchWeights)
+{
+    auto d = workload_table::extreme_bimodal();
+    Rng rng(5);
+    int longs = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        const auto s = d->sample(rng);
+        if (s.job_class == 1) {
+            EXPECT_DOUBLE_EQ(s.demand, us(500));
+            ++longs;
+        } else {
+            EXPECT_DOUBLE_EQ(s.demand, us(0.5));
+        }
+    }
+    EXPECT_NEAR(longs / static_cast<double>(n), 0.005, 0.0012);
+}
+
+TEST(MixtureDist, MeanIsWeightedAverage)
+{
+    auto d = workload_table::high_bimodal();
+    EXPECT_NEAR(d->mean(), 0.5 * us(1) + 0.5 * us(100), 1e-9);
+}
+
+TEST(MixtureDist, TpccHasFiveClasses)
+{
+    auto d = workload_table::tpcc();
+    EXPECT_EQ(d->class_names().size(), 5u);
+    EXPECT_EQ(d->class_names()[0], "Payment");
+    EXPECT_EQ(d->class_names()[4], "StockLevel");
+    // Mean of Table 1: .44*5.7 + .04*6 + .44*20 + .04*88 + .04*100
+    EXPECT_NEAR(to_us(d->mean()), 19.068, 1e-6);
+}
+
+TEST(MixtureDist, RocksdbScanFraction)
+{
+    auto d = workload_table::rocksdb(0.5);
+    Rng rng(6);
+    int scans = 0;
+    for (int i = 0; i < 100000; ++i)
+        scans += d->sample(rng).job_class == 1;
+    EXPECT_NEAR(scans / 100000.0, 0.5, 0.01);
+}
+
+TEST(PercentileTracker, ExactQuantilesOfKnownData)
+{
+    PercentileTracker t;
+    for (int i = 1; i <= 1000; ++i)
+        t.add(i);
+    EXPECT_EQ(t.count(), 1000u);
+    EXPECT_DOUBLE_EQ(t.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.5), 501.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.999), 1000.0);
+    EXPECT_DOUBLE_EQ(t.quantile(1.0), 1000.0);
+}
+
+TEST(PercentileTracker, WarmupDiscardsPrefix)
+{
+    PercentileTracker t;
+    // First 10% are huge outliers that warm-up should remove.
+    for (int i = 0; i < 100; ++i)
+        t.add(1e9);
+    for (int i = 0; i < 900; ++i)
+        t.add(1.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.99, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(t.mean(0.1), 1.0);
+    EXPECT_DOUBLE_EQ(t.max(0.1), 1.0);
+}
+
+TEST(PercentileTracker, EmptyReturnsZero)
+{
+    PercentileTracker t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_DOUBLE_EQ(t.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(PercentileTracker, MatchesSortOracleOnRandomData)
+{
+    Rng rng(9);
+    PercentileTracker t;
+    std::vector<double> oracle;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.uniform(0, 1000);
+        t.add(v);
+        oracle.push_back(v);
+    }
+    std::sort(oracle.begin(), oracle.end());
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+        size_t rank = static_cast<size_t>(q * oracle.size());
+        if (rank >= oracle.size())
+            rank = oracle.size() - 1;
+        EXPECT_DOUBLE_EQ(t.quantile(q), oracle[rank]) << "q=" << q;
+    }
+}
+
+TEST(LogHistogram, BucketEdges)
+{
+    LogHistogram h(64, 8); // 64..16384 in 8 buckets
+    EXPECT_EQ(h.bucket_lo(0), 64u);
+    EXPECT_EQ(h.bucket_hi(0), 128u);
+    EXPECT_EQ(h.bucket_lo(7), 8192u);
+    EXPECT_EQ(h.bucket_hi(7), 16384u);
+}
+
+TEST(LogHistogram, CountsLandInRightBuckets)
+{
+    LogHistogram h(64, 8);
+    h.add(10);      // underflow
+    h.add(64);      // bucket 0
+    h.add(127);     // bucket 0
+    h.add(128);     // bucket 1
+    h.add(16383);   // bucket 7
+    h.add(16384);   // overflow
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.bucket_count(0), 2u);
+    EXPECT_EQ(h.bucket_count(1), 1u);
+    EXPECT_EQ(h.bucket_count(7), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(LogHistogram, FractionAbove)
+{
+    LogHistogram h(1, 20);
+    for (int i = 0; i < 90; ++i)
+        h.add(100); // bucket [64,128)
+    for (int i = 0; i < 10; ++i)
+        h.add(100000);
+    EXPECT_NEAR(h.fraction_above(8192), 0.10, 1e-9);
+    EXPECT_NEAR(h.fraction_above(64), 1.0, 1e-9); // bucket straddles
+}
+
+TEST(Cycles, MonotonicAndCalibrated)
+{
+    const double ratio = cycles_per_ns();
+    EXPECT_GT(ratio, 0.1);  // >100 MHz
+    EXPECT_LT(ratio, 10.0); // <10 GHz
+    const Cycles a = rdcycles();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const Cycles b = rdcycles();
+    const double elapsed_ns = cycles_to_ns(b - a);
+    EXPECT_GT(elapsed_ns, 4e6);
+    EXPECT_LT(elapsed_ns, 1e9);
+    EXPECT_NEAR(cycles_to_ns(ns_to_cycles(1000.0)), 1000.0, 2.0);
+}
+
+} // namespace
+} // namespace tq

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Cross-module integration tests:
+ *
+ *  - MiniKV served by the real TQ runtime: scans preempted via the
+ *    store's own probe sites, GETs overtake in-flight scans.
+ *  - TPC-C on the runtime with per-worker shards.
+ *  - The compiler -> simulator pipeline of the breakdown study: CI
+ *    overhead measured on instrumented IR degrades simulated capacity.
+ *  - The real centralized baseline vs real TQ on the same workload:
+ *    same answers, different scheduling machinery.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "baselines/centralized.h"
+#include "compiler/report.h"
+#include "net/runtime_server.h"
+#include "probe/probe.h"
+#include "progs/programs.h"
+#include "runtime/runtime.h"
+#include "sim/sweep.h"
+#include "sim/two_level.h"
+#include "workloads/minikv.h"
+#include "workloads/spin.h"
+#include "workloads/tpcc.h"
+
+namespace tq {
+namespace {
+
+using runtime::Request;
+using runtime::Response;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+
+std::vector<Response>
+run_requests(Runtime &rt, const std::vector<Request> &reqs,
+             double timeout_sec = 120.0)
+{
+    for (const auto &r : reqs)
+        while (!rt.submit(r))
+            std::this_thread::yield();
+    std::vector<Response> responses;
+    const Cycles deadline = rdcycles() + ns_to_cycles(timeout_sec * 1e9);
+    while (responses.size() < reqs.size() && rdcycles() < deadline) {
+        rt.drain_responses(responses);
+        std::this_thread::yield();
+    }
+    return responses;
+}
+
+workloads::MiniKV &
+kv_shard()
+{
+    // The shard loads lazily inside a probed context. Suspending a
+    // coroutine mid-initialization of a thread_local would let another
+    // task re-enter the initializer — exactly the reentrancy hazard the
+    // paper flags (section 6) — so initialization is a critical section.
+    thread_local auto kv = [] {
+        PreemptGuard guard;
+        auto fresh = std::make_unique<workloads::MiniKV>(3, 64);
+        fresh->load_sequential(30'000);
+        return fresh;
+    }();
+    return *kv;
+}
+
+TEST(Integration, MiniKvGetsOvertakeScansOnRealRuntime)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.quantum_us = 2.0;
+    Runtime rt(cfg, [](const Request &req) {
+        uint64_t checksum = 0;
+        if (req.job_class == 1) {
+            kv_shard().scan(0, 30'000, &checksum); // multi-ms scan
+        } else {
+            std::string v;
+            kv_shard().get(req.payload % 30'000, &v);
+            checksum = v.empty() ? 0 : static_cast<uint64_t>(v[0]);
+        }
+        return checksum;
+    });
+    rt.start();
+
+    std::vector<Request> reqs;
+    Request scan;
+    scan.id = 999;
+    scan.gen_cycles = rdcycles();
+    scan.job_class = 1;
+    reqs.push_back(scan);
+    for (uint64_t i = 0; i < 10; ++i) {
+        Request get;
+        get.id = i;
+        get.gen_cycles = rdcycles();
+        get.job_class = 0;
+        get.payload = i * 977;
+        reqs.push_back(get);
+    }
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+
+    Cycles scan_done = 0;
+    Cycles last_get = 0;
+    for (const auto &r : responses) {
+        if (r.id == 999) {
+            scan_done = r.done_cycles;
+            EXPECT_NE(r.result, 0u) << "scan checksum must be real";
+        } else {
+            last_get = std::max(last_get, r.done_cycles);
+        }
+    }
+    EXPECT_LT(last_get, scan_done)
+        << "GETs must preempt the in-flight SCAN via MiniKV's own probes";
+    rt.stop();
+}
+
+workloads::TpccEmulator &
+tpcc_shard()
+{
+    // See kv_shard(): no yielding while the thread_local constructs.
+    thread_local auto db = [] {
+        PreemptGuard guard;
+        return std::make_unique<workloads::TpccEmulator>(11);
+    }();
+    return *db;
+}
+
+TEST(Integration, TpccTransactionsOnRealRuntime)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.quantum_us = 2.0;
+    Runtime rt(cfg, [](const Request &req) {
+        Rng rng(req.payload);
+        return tpcc_shard().run(
+            static_cast<workloads::TpccTxn>(req.job_class), rng);
+    });
+    rt.start();
+
+    Rng rng(5);
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 100; ++i) {
+        Request r;
+        r.id = i;
+        r.gen_cycles = rdcycles();
+        r.job_class = static_cast<int>(workloads::sample_tpcc_mix(rng));
+        r.payload = i;
+        reqs.push_back(r);
+    }
+    const auto responses = run_requests(rt, reqs);
+    EXPECT_EQ(responses.size(), reqs.size());
+    rt.stop();
+}
+
+TEST(Integration, MeasuredCiOverheadDegradesSimulatedCapacity)
+{
+    // The fig11/12 pipeline: instrument the rocksdb-get IR with CI,
+    // measure its probing overhead, feed it into the cluster simulator,
+    // and confirm the capacity ordering TQ > TQ-IC the paper reports.
+    compiler::PassConfig pcfg;
+    pcfg.bound = 120;
+    compiler::ExecConfig ecfg;
+    ecfg.quantum_cycles = 2.0 * 1e3 * ecfg.cost.cycles_per_ns;
+    const auto m = progs::make_rocksdb_get();
+    const auto ci = compiler::measure_technique(
+        m, compiler::ProbeKind::CiCounter, pcfg, ecfg);
+    const auto tq_pass = compiler::measure_technique(
+        m, compiler::ProbeKind::TqClock, pcfg, ecfg);
+    ASSERT_GT(ci.overhead, tq_pass.overhead);
+    ASSERT_GT(ci.overhead, 0.1) << "CI on branchy KV code is expensive";
+
+    auto dist = workload_table::rocksdb(0.005);
+    sim::TwoLevelConfig base;
+    base.duration = ms(20);
+    auto capacity = [&](double probe_frac) {
+        sim::TwoLevelConfig cfg = base;
+        cfg.probe_overhead_frac = probe_frac;
+        return sim::max_rate_under_slo(
+            [&](double rate) {
+                return sim::run_two_level(cfg, *dist, rate);
+            },
+            sim::class_sojourn_slo("GET", us(50)), mrps(0.2), mrps(3.5),
+            7);
+    };
+    const double cap_tq = capacity(tq_pass.overhead);
+    const double cap_ci = capacity(ci.overhead);
+    EXPECT_LT(cap_ci, cap_tq)
+        << "TQ-IC must sustain less load (paper: ~62% of TQ)";
+    EXPECT_GT(cap_ci, 0.0);
+}
+
+TEST(Integration, CentralizedAndTwoLevelAgreeOnResults)
+{
+    // Same handler, same requests, two real scheduling architectures:
+    // answers must match exactly; only scheduling differs.
+    auto handler = [](const Request &req) {
+        workloads::spin_for(1000.0);
+        return req.payload * 3;
+    };
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 60; ++i) {
+        Request r;
+        r.id = i;
+        r.gen_cycles = rdcycles();
+        r.payload = i;
+        reqs.push_back(r);
+    }
+
+    std::map<uint64_t, uint64_t> tq_results;
+    {
+        RuntimeConfig cfg;
+        cfg.num_workers = 2;
+        Runtime rt(cfg, handler);
+        rt.start();
+        for (const auto &r : run_requests(rt, reqs))
+            tq_results[r.id] = r.result;
+        rt.stop();
+    }
+    std::map<uint64_t, uint64_t> ct_results;
+    {
+        baselines::CentralizedConfig cfg;
+        cfg.num_workers = 2;
+        baselines::CentralizedRuntime rt(cfg, handler);
+        rt.start();
+        for (const auto &r : reqs)
+            while (!rt.submit(r))
+                std::this_thread::yield();
+        std::vector<Response> responses;
+        const Cycles deadline = rdcycles() + ns_to_cycles(120e9);
+        while (responses.size() < reqs.size() && rdcycles() < deadline) {
+            rt.drain(responses);
+            std::this_thread::yield();
+        }
+        for (const auto &r : responses)
+            ct_results[r.id] = r.result;
+        rt.stop();
+    }
+    ASSERT_EQ(tq_results.size(), reqs.size());
+    ASSERT_EQ(ct_results.size(), reqs.size());
+    for (const auto &req : reqs) {
+        EXPECT_EQ(tq_results[req.id], req.payload * 3);
+        EXPECT_EQ(ct_results[req.id], tq_results[req.id]);
+    }
+}
+
+} // namespace
+} // namespace tq

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the open-loop load generator against a deterministic fake
+ * server: Poisson submission counts, latency bookkeeping, warm-up
+ * discarding, per-class accounting, and backpressure counting.
+ */
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/cycles.h"
+#include "net/loadgen.h"
+
+namespace tq::net {
+namespace {
+
+/** Fake server: echoes after a fixed (cycle-accurate) delay. */
+class EchoServer : public Server
+{
+  public:
+    explicit EchoServer(double delay_ns, size_t fail_first = 0)
+        : delay_cycles_(ns_to_cycles(delay_ns)), fail_first_(fail_first)
+    {
+    }
+
+    bool
+    submit(const runtime::Request &req) override
+    {
+        if (fail_first_ > 0) {
+            --fail_first_;
+            return false;
+        }
+        runtime::Response resp;
+        resp.id = req.id;
+        resp.gen_cycles = req.gen_cycles;
+        resp.arrival_cycles = rdcycles();
+        resp.done_cycles = resp.arrival_cycles + delay_cycles_;
+        resp.job_class = req.job_class;
+        resp.result = req.payload;
+        pending_.push_back(resp);
+        return true;
+    }
+
+    size_t
+    drain(std::vector<runtime::Response> &out) override
+    {
+        size_t n = 0;
+        const Cycles now = rdcycles();
+        while (!pending_.empty() && pending_.front().done_cycles <= now) {
+            out.push_back(pending_.front());
+            pending_.pop_front();
+            ++n;
+        }
+        return n;
+    }
+
+  private:
+    Cycles delay_cycles_;
+    size_t fail_first_;
+    std::deque<runtime::Response> pending_;
+};
+
+TEST(LoadGen, SubmitsApproximatelyRateTimesDuration)
+{
+    EchoServer server(100.0);
+    auto dist = std::make_unique<FixedDist>(us(1), "job");
+    LoadGenConfig cfg;
+    cfg.rate_mrps = 0.05; // 50 Krps
+    cfg.duration_sec = 0.2;
+    const ClientStats stats =
+        run_open_loop(server, *dist, spin_request_factory(), cfg);
+    // Expect ~10000 submissions; Poisson sd ~100, allow generous slack
+    // for host scheduling jitter.
+    EXPECT_GT(stats.submitted, 8000u);
+    EXPECT_LT(stats.submitted, 12000u);
+    EXPECT_EQ(stats.completed, stats.submitted);
+    EXPECT_GT(stats.achieved_mrps, 0.03);
+}
+
+TEST(LoadGen, LatencyReflectsServerDelay)
+{
+    EchoServer server(50'000.0); // 50us server-side delay
+    auto dist = std::make_unique<FixedDist>(us(1), "job");
+    LoadGenConfig cfg;
+    cfg.rate_mrps = 0.02;
+    cfg.duration_sec = 0.1;
+    const ClientStats stats =
+        run_open_loop(server, *dist, spin_request_factory(), cfg);
+    const auto &c = stats.by_class("job");
+    EXPECT_GE(c.mean_sojourn_us, 49.0);
+    EXPECT_LT(c.mean_sojourn_us, 80.0);
+    EXPECT_GE(c.p999_sojourn_us, c.p99_sojourn_us);
+    EXPECT_GE(c.p99_sojourn_us, 49.0);
+    // End-to-end includes client-side queueing/drain delays.
+    EXPECT_GE(c.p999_e2e_us, c.p999_sojourn_us);
+}
+
+TEST(LoadGen, CountsSendFailures)
+{
+    EchoServer server(100.0, /*fail_first=*/25);
+    auto dist = std::make_unique<FixedDist>(us(1), "job");
+    LoadGenConfig cfg;
+    cfg.rate_mrps = 0.05;
+    cfg.duration_sec = 0.05;
+    const ClientStats stats =
+        run_open_loop(server, *dist, spin_request_factory(), cfg);
+    EXPECT_EQ(stats.send_failures, 25u);
+    EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+TEST(LoadGen, PerClassAccountingSeparatesClasses)
+{
+    EchoServer server(1000.0);
+    auto dist = workload_table::high_bimodal();
+    LoadGenConfig cfg;
+    cfg.rate_mrps = 0.02;
+    cfg.duration_sec = 0.1;
+    const ClientStats stats =
+        run_open_loop(server, *dist, spin_request_factory(), cfg);
+    const auto &s = stats.by_class("Short");
+    const auto &l = stats.by_class("Long");
+    EXPECT_GT(s.completed, 0u);
+    EXPECT_GT(l.completed, 0u);
+    EXPECT_EQ(s.completed + l.completed, stats.completed);
+    // ~50/50 mix.
+    const double frac =
+        static_cast<double>(s.completed) /
+        static_cast<double>(stats.completed);
+    EXPECT_NEAR(frac, 0.5, 0.1);
+}
+
+TEST(LoadGen, SpinFactoryEncodesDemandInPayload)
+{
+    const auto factory = spin_request_factory();
+    ServiceSample s{us(7), 3};
+    const runtime::Request req = factory(s, 42);
+    EXPECT_EQ(req.job_class, 3);
+    EXPECT_EQ(req.payload, static_cast<uint64_t>(us(7)));
+}
+
+} // namespace
+} // namespace tq::net

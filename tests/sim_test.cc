@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the cluster simulators: conservation laws (stable throughput
+ * equals offered load), saturation detection, and the qualitative
+ * orderings the paper's figures rest on — PS beats FCFS for short jobs
+ * under bimodal load, JSQ beats random, small quanta help when overhead
+ * is low and hurt when it is high, and centralized dispatchers stop
+ * scaling as quanta shrink.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/dist.h"
+#include "sim/caladan.h"
+#include "sim/central.h"
+#include "sim/sweep.h"
+#include "sim/two_level.h"
+
+namespace tq::sim {
+namespace {
+
+/** Short test runs: 30ms of simulated arrivals. */
+TwoLevelConfig
+tl_config()
+{
+    TwoLevelConfig cfg;
+    cfg.duration = ms(30);
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(TwoLevel, StableLoadCompletesEverything)
+{
+    FixedDist dist(us(1));
+    TwoLevelConfig cfg = tl_config();
+    // 16 cores, 1us jobs => capacity ~16 req/us = 16 Mrps; offer 4.
+    const SimResult r = run_two_level(cfg, dist, mrps(4));
+    EXPECT_FALSE(r.saturated);
+    EXPECT_EQ(r.dropped, 0u);
+    EXPECT_GT(r.completed, 100'000u);
+    EXPECT_NEAR(r.throughput, mrps(4), mrps(0.2));
+}
+
+TEST(TwoLevel, OverloadSaturates)
+{
+    FixedDist dist(us(10));
+    TwoLevelConfig cfg = tl_config();
+    cfg.duration = ms(20);
+    // Capacity = 1.6 Mrps; offer 3.
+    const SimResult r = run_two_level(cfg, dist, mrps(3));
+    EXPECT_TRUE(r.saturated);
+}
+
+TEST(TwoLevel, LowLoadSlowdownNearOne)
+{
+    FixedDist dist(us(2));
+    TwoLevelConfig cfg = tl_config();
+    cfg.overheads = Overheads::ideal();
+    const SimResult r = run_two_level(cfg, dist, mrps(0.5));
+    EXPECT_FALSE(r.saturated);
+    EXPECT_LT(r.overall_mean_slowdown, 1.3);
+    EXPECT_LT(r.overall_p999_slowdown, 2.5);
+}
+
+TEST(TwoLevel, SojournAtLeastDemand)
+{
+    auto dist = workload_table::high_bimodal();
+    TwoLevelConfig cfg = tl_config();
+    const SimResult r = run_two_level(cfg, *dist, mrps(0.1));
+    for (const auto &c : r.classes) {
+        EXPECT_GT(c.completed, 0u);
+        EXPECT_GE(c.mean_slowdown, 1.0) << c.name;
+    }
+}
+
+TEST(TwoLevel, PsProtectsShortJobsFromLongOnes)
+{
+    // Extreme bimodal at medium load: FCFS blocks 0.5us jobs behind
+    // 500us jobs; PS with 2us quanta must keep their tail small.
+    auto dist = workload_table::extreme_bimodal();
+    TwoLevelConfig ps = tl_config();
+    TwoLevelConfig fcfs = tl_config();
+    fcfs.core_policy = CorePolicy::Fcfs;
+    const double rate = mrps(2.0);
+    const SimResult r_ps = run_two_level(ps, *dist, rate);
+    const SimResult r_fcfs = run_two_level(fcfs, *dist, rate);
+    ASSERT_FALSE(r_ps.saturated);
+    ASSERT_FALSE(r_fcfs.saturated);
+    const SimNanos ps_short = r_ps.by_class("Short").p999_sojourn;
+    const SimNanos fcfs_short = r_fcfs.by_class("Short").p999_sojourn;
+    EXPECT_LT(ps_short * 5, fcfs_short)
+        << "PS=" << to_us(ps_short) << "us FCFS=" << to_us(fcfs_short)
+        << "us";
+    // FCFS prioritizes long jobs (no preemption): their latency must be
+    // no worse than under PS up to noise — the paper calls this out for
+    // Caladan's FCFS at medium load.
+    EXPECT_LT(r_fcfs.by_class("Long").p999_sojourn,
+              1.15 * r_ps.by_class("Long").p999_sojourn);
+}
+
+TEST(TwoLevel, LasFavorsShortJobsEvenMoreThanPs)
+{
+    // LAS always serves the job with the least attained service, so
+    // fresh short jobs preempt everything: their tail must be at least
+    // as good as PS's, while long jobs fare no better than under PS.
+    auto dist = workload_table::extreme_bimodal();
+    TwoLevelConfig ps = tl_config();
+    TwoLevelConfig las = tl_config();
+    las.core_policy = CorePolicy::Las;
+    const double rate = mrps(3.5);
+    const SimResult r_ps = run_two_level(ps, *dist, rate);
+    const SimResult r_las = run_two_level(las, *dist, rate);
+    ASSERT_FALSE(r_ps.saturated);
+    ASSERT_FALSE(r_las.saturated);
+    EXPECT_LE(r_las.by_class("Short").p999_sojourn,
+              r_ps.by_class("Short").p999_sojourn * 1.05);
+    EXPECT_GE(r_las.by_class("Long").p999_sojourn,
+              r_ps.by_class("Long").p999_sojourn * 0.95);
+}
+
+TEST(TwoLevel, JsqBeatsRandomLoadBalancing)
+{
+    auto dist = workload_table::exp1();
+    TwoLevelConfig jsq = tl_config();
+    TwoLevelConfig rnd = tl_config();
+    rnd.lb = LbPolicy::Random;
+    const double rate = mrps(12); // 75% utilization of 16 cores
+    const SimResult r_jsq = run_two_level(jsq, *dist, rate);
+    const SimResult r_rnd = run_two_level(rnd, *dist, rate);
+    ASSERT_FALSE(r_jsq.saturated);
+    ASSERT_FALSE(r_rnd.saturated);
+    EXPECT_LT(r_jsq.overall_p999_slowdown, r_rnd.overall_p999_slowdown);
+}
+
+TEST(TwoLevel, PowerOfTwoBetweenJsqAndRandom)
+{
+    auto dist = workload_table::exp1();
+    TwoLevelConfig cfg = tl_config();
+    const double rate = mrps(12);
+    cfg.lb = LbPolicy::JsqRandom;
+    const double jsq = run_two_level(cfg, *dist, rate).overall_p999_slowdown;
+    cfg.lb = LbPolicy::PowerOfTwo;
+    const double po2 = run_two_level(cfg, *dist, rate).overall_p999_slowdown;
+    cfg.lb = LbPolicy::Random;
+    const double rnd = run_two_level(cfg, *dist, rate).overall_p999_slowdown;
+    EXPECT_LT(jsq, po2 * 1.05);
+    EXPECT_LT(po2, rnd);
+}
+
+TEST(TwoLevel, SmallerQuantaReduceShortJobTail)
+{
+    auto dist = workload_table::extreme_bimodal();
+    TwoLevelConfig cfg = tl_config();
+    cfg.overheads = Overheads::ideal();
+    const double rate = mrps(3.0);
+    cfg.quantum = us(0.5);
+    const SimResult small = run_two_level(cfg, *dist, rate);
+    cfg.quantum = us(10);
+    const SimResult large = run_two_level(cfg, *dist, rate);
+    ASSERT_FALSE(small.saturated);
+    ASSERT_FALSE(large.saturated);
+    EXPECT_LT(small.by_class("Short").p999_sojourn,
+              large.by_class("Short").p999_sojourn);
+}
+
+TEST(TwoLevel, SwitchOverheadCostsCapacity)
+{
+    // With 1us of overhead per 1us quantum, half of every core is wasted:
+    // a load that is fine at low overhead must saturate.
+    auto dist = workload_table::exp1();
+    TwoLevelConfig cfg = tl_config();
+    cfg.quantum = us(1);
+    cfg.overheads.switch_overhead = us(1);
+    const SimResult heavy = run_two_level(cfg, *dist, mrps(12));
+    EXPECT_TRUE(heavy.saturated);
+    cfg.overheads.switch_overhead = 40;
+    const SimResult light = run_two_level(cfg, *dist, mrps(12));
+    EXPECT_FALSE(light.saturated);
+}
+
+TEST(TwoLevel, ProbeOverheadInflatesService)
+{
+    FixedDist dist(us(1));
+    TwoLevelConfig cfg = tl_config();
+    cfg.probe_overhead_frac = 0.6; // TQ-IC style probing cost
+    // Demand inflates to 1.6us/job: capacity 10 Mrps; 12 must saturate.
+    const SimResult r = run_two_level(cfg, dist, mrps(12));
+    EXPECT_TRUE(r.saturated);
+}
+
+TEST(TwoLevel, PerClassQuantumOverrideApplies)
+{
+    auto dist = workload_table::rocksdb(0.005);
+    TwoLevelConfig cfg = tl_config();
+    cfg.class_quantum = {us(1), us(3)}; // TQ-TIMING emulation
+    const SimResult r = run_two_level(cfg, *dist, mrps(1));
+    EXPECT_FALSE(r.saturated);
+    EXPECT_GT(r.by_class("GET").completed, 0u);
+}
+
+TEST(TwoLevel, DeterministicAcrossRuns)
+{
+    auto dist = workload_table::high_bimodal();
+    TwoLevelConfig cfg = tl_config();
+    const SimResult a = run_two_level(cfg, *dist, mrps(0.2));
+    const SimResult b = run_two_level(cfg, *dist, mrps(0.2));
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.overall_p999_slowdown, b.overall_p999_slowdown);
+}
+
+TEST(TwoLevel, StaleCounterReadsDegradeJsqGracefully)
+{
+    // Paper section 4: the dispatcher reads worker counters
+    // periodically. Very stale views (100us) make JSQ behave closer to
+    // random, hurting the tail at high load — but never correctness.
+    auto dist = workload_table::exp1();
+    TwoLevelConfig fresh = tl_config();
+    TwoLevelConfig stale = tl_config();
+    stale.stats_refresh_period = us(100);
+    const double rate = mrps(13);
+    const SimResult r_fresh = run_two_level(fresh, *dist, rate);
+    const SimResult r_stale = run_two_level(stale, *dist, rate);
+    ASSERT_FALSE(r_fresh.saturated);
+    ASSERT_FALSE(r_stale.saturated);
+    EXPECT_EQ(r_stale.dropped, 0u);
+    EXPECT_GT(r_stale.overall_p999_slowdown,
+              r_fresh.overall_p999_slowdown);
+}
+
+TEST(TwoLevel, MultipleDispatchersScaleAdmissionThroughput)
+{
+    // Section 6 extension: 64 cores of 0.5us jobs demand ~128 Mrps of
+    // admission; one 70ns dispatcher caps at ~14 Mrps, two at ~28.
+    FixedDist dist(us(0.5));
+    TwoLevelConfig cfg;
+    cfg.num_cores = 64;
+    cfg.duration = ms(10);
+    cfg.num_dispatchers = 1;
+    const SimResult one = run_two_level(cfg, dist, mrps(20));
+    EXPECT_TRUE(one.saturated) << "20 Mrps > one dispatcher's ~14 Mrps";
+    cfg.num_dispatchers = 2;
+    const SimResult two = run_two_level(cfg, dist, mrps(20));
+    EXPECT_FALSE(two.saturated) << "two dispatchers must carry 20 Mrps";
+}
+
+// ------------------------------------------------------------ central --
+
+TEST(Central, StableLoadCompletesEverything)
+{
+    FixedDist dist(us(1));
+    CentralConfig cfg;
+    cfg.duration = ms(30);
+    const SimResult r = run_central(cfg, dist, mrps(4));
+    EXPECT_FALSE(r.saturated);
+    EXPECT_NEAR(r.throughput, mrps(4), mrps(0.2));
+}
+
+TEST(Central, SmallerQuantaReduceTailAtZeroOverhead)
+{
+    // Figure 1's shape: with zero overhead, smaller quanta lower the
+    // 99.9% slowdown of the extreme bimodal workload.
+    auto dist = workload_table::extreme_bimodal();
+    CentralConfig cfg;
+    cfg.duration = ms(40);
+    const double rate = mrps(3.5);
+    cfg.quantum = us(1);
+    const double small = run_central(cfg, *dist, rate).overall_p999_slowdown;
+    cfg.quantum = us(10);
+    const double large = run_central(cfg, *dist, rate).overall_p999_slowdown;
+    EXPECT_LT(small, large);
+}
+
+TEST(Central, OverheadMakesTinyQuantaCounterproductive)
+{
+    // Figure 2's shape: with 1us preemption overhead, a 0.5us quantum
+    // supports less load than a 3us quantum.
+    auto dist = workload_table::extreme_bimodal();
+    CentralConfig cfg;
+    cfg.duration = ms(30);
+    cfg.overheads.switch_overhead = us(1);
+    auto capacity = [&](SimNanos q) {
+        cfg.quantum = q;
+        return max_rate_under_slo(
+            [&](double rate) { return run_central(cfg, *dist, rate); },
+            slowdown_slo(10), mrps(0.5), mrps(6), 8);
+    };
+    EXPECT_LT(capacity(us(0.5)), capacity(us(3)));
+}
+
+TEST(Central, SerialDispatcherLimitsQuantumRate)
+{
+    // Figure 16's mechanism: all cores busy with 1ms jobs; per-quantum
+    // dispatcher ops serialize. With enough cores and small quanta the
+    // effective quantum stretches past 110% of the target.
+    FixedDist dist(ms(1));
+    CentralConfig cfg;
+    cfg.duration = ms(60);
+    cfg.overheads = Overheads::shinjuku_default();
+    cfg.quantum = us(1);
+    cfg.num_cores = 16;
+    // Keep all cores busy: 16 cores / 1ms jobs => ~16 Krps demand; offer
+    // double and let the queue build.
+    const SimResult r = run_central(cfg, dist, 32e-6);
+    EXPECT_GT(r.avg_effective_quantum, 1.1 * cfg.quantum)
+        << "16 cores at 1us quanta must overwhelm a ~5Mops dispatcher";
+
+    cfg.num_cores = 2;
+    const SimResult ok = run_central(cfg, dist, 4e-6);
+    EXPECT_LT(ok.avg_effective_quantum, 1.1 * cfg.quantum)
+        << "2 cores must be sustainable at 1us quanta";
+}
+
+// ------------------------------------------------------------ caladan --
+
+TEST(Caladan, StableLoadCompletesEverything)
+{
+    FixedDist dist(us(1));
+    CaladanConfig cfg;
+    cfg.duration = ms(30);
+    const SimResult r = run_caladan(cfg, dist, mrps(4));
+    EXPECT_FALSE(r.saturated);
+    EXPECT_NEAR(r.throughput, mrps(4), mrps(0.2));
+}
+
+TEST(Caladan, WorkStealingBalancesRandomSteering)
+{
+    // Without stealing, RSS-hashed FCFS queues at 75% load have terrible
+    // tails; stealing keeps them near single-queue FCFS.
+    // 8 Mrps stays under the ~9 Mrps IOKernel ceiling (110 ns/packet).
+    auto dist = workload_table::exp1();
+    CaladanConfig cfg;
+    cfg.duration = ms(30);
+    cfg.steal_attempts = 3;
+    const SimResult with_steal = run_caladan(cfg, *dist, mrps(8));
+    cfg.steal_attempts = 0;
+    const SimResult no_steal = run_caladan(cfg, *dist, mrps(8));
+    ASSERT_FALSE(with_steal.saturated);
+    EXPECT_LT(with_steal.overall_p999_slowdown,
+              no_steal.overall_p999_slowdown);
+}
+
+TEST(Caladan, FcfsSuffersHeadOfLineBlockingOnBimodal)
+{
+    auto dist = workload_table::extreme_bimodal();
+    CaladanConfig caladan_cfg;
+    caladan_cfg.duration = ms(30);
+    TwoLevelConfig tq_cfg = tl_config();
+    const double rate = mrps(3.0);
+    const SimResult caladan = run_caladan(caladan_cfg, *dist, rate);
+    const SimResult tq = run_two_level(tq_cfg, *dist, rate);
+    ASSERT_FALSE(caladan.saturated);
+    ASSERT_FALSE(tq.saturated);
+    EXPECT_GT(caladan.by_class("Short").p999_sojourn,
+              5 * tq.by_class("Short").p999_sojourn);
+}
+
+TEST(Caladan, IoKernelSerializesAtHighRate)
+{
+    // 110ns per packet => ~9 Mrps ceiling; 12 Mrps must saturate even
+    // though 16 cores could serve the work.
+    FixedDist dist(us(0.5));
+    CaladanConfig cfg;
+    cfg.duration = ms(20);
+    cfg.directpath = false;
+    const SimResult r = run_caladan(cfg, dist, mrps(12));
+    EXPECT_TRUE(r.saturated);
+    cfg.directpath = true;
+    const SimResult dp = run_caladan(cfg, dist, mrps(12));
+    EXPECT_FALSE(dp.saturated) << "directpath removes the serial stage";
+}
+
+// -------------------------------------------------------------- sweep --
+
+TEST(Sweep, GridAndSweepRunAllPoints)
+{
+    FixedDist dist(us(1));
+    TwoLevelConfig cfg = tl_config();
+    cfg.duration = ms(10);
+    const auto rates = rate_grid(mrps(1), mrps(4), 4);
+    ASSERT_EQ(rates.size(), 4u);
+    EXPECT_DOUBLE_EQ(rates.front(), mrps(1));
+    EXPECT_DOUBLE_EQ(rates.back(), mrps(4));
+    const auto points = sweep(
+        [&](double r) { return run_two_level(cfg, dist, r); }, rates);
+    ASSERT_EQ(points.size(), 4u);
+    for (const auto &p : points)
+        EXPECT_GT(p.result.completed, 0u);
+}
+
+TEST(Sweep, MaxRateUnderSloFindsCapacityBoundary)
+{
+    // 16 cores of 1us jobs: capacity ~16 Mrps (minus overheads). The
+    // SLO-capacity search must land between 10 and 16 Mrps.
+    FixedDist dist(us(1));
+    TwoLevelConfig cfg = tl_config();
+    cfg.duration = ms(15);
+    const double cap = max_rate_under_slo(
+        [&](double r) { return run_two_level(cfg, dist, r); },
+        slowdown_slo(10), mrps(1), mrps(20), 8);
+    EXPECT_GT(cap, mrps(10));
+    EXPECT_LT(cap, mrps(16));
+}
+
+TEST(Sweep, ZeroWhenEvenLowRateMissesSlo)
+{
+    FixedDist dist(us(100));
+    TwoLevelConfig cfg = tl_config();
+    cfg.duration = ms(10);
+    // SLO impossible: demand 100us but sojourn limit 1us.
+    const double cap = max_rate_under_slo(
+        [&](double r) { return run_two_level(cfg, dist, r); },
+        class_sojourn_slo("job", us(1)), mrps(0.01), mrps(1), 4);
+    EXPECT_DOUBLE_EQ(cap, 0.0);
+}
+
+} // namespace
+} // namespace tq::sim

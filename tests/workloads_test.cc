@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the workload substrates: MiniKV correctness against a
+ * std::map oracle, probed preemptability of GET/SCAN, trace hooks,
+ * TPC-C transaction semantics, mix ratios and duration ordering, and
+ * the calibrated spinner.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/cycles.h"
+#include "coro/coroutine.h"
+#include "probe/probe.h"
+#include "workloads/minikv.h"
+#include "workloads/spin.h"
+#include "workloads/tpcc.h"
+
+namespace tq::workloads {
+namespace {
+
+void
+reset_probe_state()
+{
+    probe_state() = ProbeState{};
+}
+
+// -------------------------------------------------------------- MiniKV --
+
+TEST(MiniKV, PutGetRoundTrip)
+{
+    reset_probe_state();
+    MiniKV kv(1, 16);
+    kv.put(42, "hello");
+    std::string v;
+    ASSERT_TRUE(kv.get(42, &v));
+    EXPECT_EQ(v.substr(0, 5), "hello");
+    EXPECT_FALSE(kv.get(43, &v));
+    EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(MiniKV, OverwriteKeepsSingleEntry)
+{
+    reset_probe_state();
+    MiniKV kv(1, 8);
+    kv.put(7, "aaaa");
+    kv.put(7, "bbbb");
+    EXPECT_EQ(kv.size(), 1u);
+    std::string v;
+    ASSERT_TRUE(kv.get(7, &v));
+    EXPECT_EQ(v.substr(0, 4), "bbbb");
+}
+
+TEST(MiniKV, MatchesMapOracleOnRandomOps)
+{
+    reset_probe_state();
+    MiniKV kv(3, 8);
+    std::map<uint64_t, char> oracle;
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t key = rng.below(800);
+        if (rng.bernoulli(0.6)) {
+            const char tag = static_cast<char>('a' + rng.below(26));
+            kv.put(key, std::string(1, tag) + "xxx");
+            oracle[key] = tag;
+        } else {
+            std::string v;
+            const bool found = kv.get(key, &v);
+            const auto it = oracle.find(key);
+            ASSERT_EQ(found, it != oracle.end()) << "key " << key;
+            if (found)
+                ASSERT_EQ(v[0], it->second);
+        }
+    }
+    EXPECT_EQ(kv.size(), oracle.size());
+}
+
+TEST(MiniKV, ScanVisitsKeysInOrder)
+{
+    reset_probe_state();
+    MiniKV kv(5, 8);
+    kv.load_sequential(1000);
+    uint64_t checksum = 0;
+    EXPECT_EQ(kv.scan(100, 50, &checksum), 50u);
+    EXPECT_NE(checksum, 0u);
+    // Scan starting past the end visits nothing.
+    EXPECT_EQ(kv.scan(5000, 10, &checksum), 0u);
+    // Scan clipped at the tail.
+    EXPECT_EQ(kv.scan(990, 100, &checksum), 10u);
+}
+
+TEST(MiniKV, TraceHookRecordsAccesses)
+{
+    reset_probe_state();
+    MiniKV kv(7, 16);
+    kv.load_sequential(200);
+    std::vector<uint64_t> trace;
+    kv.set_trace(&trace);
+    std::string v;
+    kv.get(100, &v);
+    const size_t get_len = trace.size();
+    EXPECT_GT(get_len, 3u) << "descent must touch several nodes";
+    kv.scan(0, 100, nullptr);
+    EXPECT_GT(trace.size(), get_len + 150) << "scan touches ~2/entry";
+    kv.set_trace(nullptr);
+    const size_t frozen = trace.size();
+    kv.get(5, &v);
+    EXPECT_EQ(trace.size(), frozen);
+}
+
+TEST(MiniKV, ScanIsPreemptableViaProbes)
+{
+    reset_probe_state();
+    MiniKV kv(9, 64);
+    kv.load_sequential(20000);
+    uint64_t checksum = 0;
+    int yields = 0;
+    static thread_local Coroutine *self_ptr;
+    Coroutine job([&](Coroutine &self) {
+        self_ptr = &self;
+        kv.scan(0, 20000, &checksum);
+    });
+    bind_yield([](void *) { self_ptr->yield(); }, nullptr);
+    while (!job.done()) {
+        arm_quantum(ns_to_cycles(5000)); // 5us quanta
+        job.resume();
+        ++yields;
+        ASSERT_LT(yields, 1'000'000);
+    }
+    disarm_quantum();
+    EXPECT_GT(yields, 5) << "a 20k-entry scan must span many quanta";
+    EXPECT_NE(checksum, 0u);
+}
+
+TEST(MiniKV, GetCompletesWithinOneModestQuantum)
+{
+    reset_probe_state();
+    MiniKV kv(11, 64);
+    kv.load_sequential(100000);
+    // GET is a ~us-class job: with a 100us quantum it must not yield.
+    int yields = 0;
+    bind_yield([](void *arg) { ++*static_cast<int *>(arg); }, &yields);
+    arm_quantum(ns_to_cycles(100000));
+    std::string v;
+    kv.get(54321, &v);
+    disarm_quantum();
+    EXPECT_EQ(yields, 0);
+}
+
+// ---------------------------------------------------------------- TPCC --
+
+TEST(Tpcc, MixMatchesTable1)
+{
+    Rng rng(1);
+    std::vector<int> counts(5, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<size_t>(sample_tpcc_mix(rng))];
+    EXPECT_NEAR(counts[0] / double(n), 0.44, 0.01); // Payment
+    EXPECT_NEAR(counts[1] / double(n), 0.04, 0.005); // OrderStatus
+    EXPECT_NEAR(counts[2] / double(n), 0.44, 0.01); // NewOrder
+    EXPECT_NEAR(counts[3] / double(n), 0.04, 0.005); // Delivery
+    EXPECT_NEAR(counts[4] / double(n), 0.04, 0.005); // StockLevel
+}
+
+TEST(Tpcc, TransactionsCommitAndCount)
+{
+    reset_probe_state();
+    disarm_quantum();
+    TpccEmulator db(1);
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i)
+        db.run(sample_tpcc_mix(rng), rng);
+    uint64_t total = 0;
+    for (uint64_t c : db.committed())
+        total += c;
+    EXPECT_EQ(total, 50u);
+}
+
+TEST(Tpcc, NewOrderGrowsAndDeliveryShrinksOpenOrders)
+{
+    reset_probe_state();
+    disarm_quantum();
+    TpccEmulator db(1);
+    Rng rng(3);
+    const size_t before = db.open_orders();
+    for (int i = 0; i < 20; ++i)
+        db.run(TpccTxn::NewOrder, rng);
+    EXPECT_EQ(db.open_orders(), before + 20);
+    db.run(TpccTxn::Delivery, rng);
+    EXPECT_EQ(db.open_orders(), before + 20 - TpccEmulator::kDistricts);
+}
+
+TEST(Tpcc, DurationOrderingTracksTable1)
+{
+    // Table 1 ordering: Payment ~ OrderStatus < NewOrder < Delivery <
+    // StockLevel. Measure medians of real executions.
+    reset_probe_state();
+    disarm_quantum();
+    TpccEmulator db(1);
+    Rng rng(4);
+    auto median_cost = [&](TpccTxn t) {
+        std::vector<double> xs;
+        for (int i = 0; i < 31; ++i) {
+            const Cycles a = rdcycles();
+            db.run(t, rng);
+            xs.push_back(static_cast<double>(rdcycles() - a));
+        }
+        std::sort(xs.begin(), xs.end());
+        return xs[xs.size() / 2];
+    };
+    const double payment = median_cost(TpccTxn::Payment);
+    const double neworder = median_cost(TpccTxn::NewOrder);
+    const double delivery = median_cost(TpccTxn::Delivery);
+    const double stocklevel = median_cost(TpccTxn::StockLevel);
+    EXPECT_LT(payment * 2, neworder);
+    EXPECT_LT(neworder * 2.5, delivery);
+    EXPECT_LT(delivery, stocklevel * 1.3);
+    // Roughly Table-1 proportions: NewOrder/Payment ~ 3.5, allow 2..6.
+    EXPECT_GT(neworder / payment, 2.0);
+    EXPECT_LT(neworder / payment, 6.5);
+}
+
+TEST(Tpcc, TransactionsArePreemptable)
+{
+    reset_probe_state();
+    TpccEmulator db(1);
+    Rng rng(5);
+    static thread_local Coroutine *self_ptr;
+    int quanta = 0;
+    Coroutine job([&](Coroutine &self) {
+        self_ptr = &self;
+        db.run(TpccTxn::StockLevel, rng); // the ~100us class
+    });
+    bind_yield([](void *) { self_ptr->yield(); }, nullptr);
+    while (!job.done()) {
+        arm_quantum(ns_to_cycles(2000)); // 2us quanta
+        job.resume();
+        ++quanta;
+        ASSERT_LT(quanta, 1'000'000);
+    }
+    disarm_quantum();
+    EXPECT_GT(quanta, 3);
+}
+
+// ---------------------------------------------------------------- spin --
+
+TEST(Spin, DurationApproximatelyHonored)
+{
+    reset_probe_state();
+    disarm_quantum();
+    cycles_per_ns(); // warm the one-time clock calibration
+    for (double target_us : {1.0, 5.0, 20.0}) {
+        // Median of several runs: wall time can exceed consumed time when
+        // the OS preempts the test (this box timeshares one core).
+        std::vector<double> runs;
+        for (int i = 0; i < 9; ++i) {
+            const Cycles t0 = rdcycles();
+            spin_for(us(target_us));
+            runs.push_back(cycles_to_ns(rdcycles() - t0) / 1000.0);
+        }
+        std::sort(runs.begin(), runs.end());
+        const double elapsed_us = runs[runs.size() / 2];
+        EXPECT_GE(elapsed_us, target_us * 0.9) << target_us;
+        EXPECT_LE(elapsed_us, target_us * 2 + 2) << target_us;
+    }
+}
+
+TEST(Spin, PreemptableAndAccountsOnlyConsumedTime)
+{
+    reset_probe_state();
+    static thread_local Coroutine *self_ptr;
+    Coroutine job([&](Coroutine &self) {
+        self_ptr = &self;
+        spin_for(us(100));
+    });
+    bind_yield([](void *) { self_ptr->yield(); }, nullptr);
+    int quanta = 0;
+    double running_ns = 0;
+    while (!job.done()) {
+        arm_quantum(ns_to_cycles(5000));
+        const Cycles t0 = rdcycles();
+        job.resume();
+        running_ns += cycles_to_ns(rdcycles() - t0);
+        ++quanta;
+        ASSERT_LT(quanta, 100000);
+    }
+    disarm_quantum();
+    EXPECT_GE(quanta, 10) << "100us of work across 5us quanta";
+    EXPECT_GE(running_ns, 90'000.0);
+}
+
+} // namespace
+} // namespace tq::workloads

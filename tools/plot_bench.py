@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Plot the TSV series printed by the bench/ binaries.
+
+The figure benches print self-describing tab-separated tables:
+
+    # Figure 1 — ...
+    rate_mrps   q0.5us  q1.0us ...
+    0.50        1       1
+    ...
+
+This script turns one bench's stdout (or a saved file) into a PNG per
+table, with log-scaled y axes for latency series. matplotlib is the only
+dependency; the benches themselves never need it.
+
+Usage:
+    build/bench/fig01_quantum_slowdown | tools/plot_bench.py -o fig01.png
+    tools/plot_bench.py bench_output_fig07.txt -o fig07.png
+"""
+
+import argparse
+import sys
+
+
+def parse_tables(lines):
+    """Split bench output into (title, header, rows) tables."""
+    tables = []
+    title = ""
+    header = None
+    rows = []
+
+    def flush():
+        nonlocal header, rows
+        if header and rows:
+            tables.append((title, header, rows))
+        header, rows = None, []
+
+    for line in lines:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("##"):
+                flush()
+            if not tables or line.startswith("##"):
+                title = line.lstrip("# ").strip()
+            continue
+        cells = line.split("\t")
+        if len(cells) < 2:
+            continue
+        try:
+            float(cells[0])
+        except ValueError:
+            flush()
+            header = cells
+            continue
+        if header:
+            rows.append(cells)
+    flush()
+    return tables
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("input", nargs="?", help="bench output file (default stdin)")
+    ap.add_argument("-o", "--output", default="bench.png", help="output PNG")
+    args = ap.parse_args()
+
+    text = open(args.input).readlines() if args.input else sys.stdin.readlines()
+    tables = parse_tables(text)
+    if not tables:
+        sys.exit("no tables found in input")
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(1, len(tables),
+                             figsize=(6 * len(tables), 4.5), squeeze=False)
+    for ax, (title, header, rows) in zip(axes[0], tables):
+        xs = [float(r[0]) for r in rows]
+        for col in range(1, len(header)):
+            ys, pts_x = [], []
+            for x, r in zip(xs, rows):
+                if col < len(r) and r[col] not in ("sat", ""):
+                    pts_x.append(x)
+                    ys.append(float(r[col]))
+            if ys:
+                ax.plot(pts_x, ys, marker="o", label=header[col])
+        ax.set_xlabel(header[0])
+        ax.set_title(title, fontsize=9)
+        if any(v > 50 for _, h, rr in tables for r in rr
+               for v in [float(c) for c in r[1:] if c not in ("sat", "")]):
+            ax.set_yscale("log")
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=130)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()
