@@ -8,6 +8,11 @@
  * dispatch_cost. The paper's corresponding claims: stackful coroutine
  * yields in tens of ns (section 3.1), probes cost a partially-hidden
  * RDTSC, and the dispatcher does only per-job work (section 3.2).
+ *
+ * The BM_Telemetry* group prices the observability layer's hot-path
+ * operations; OBSERVABILITY.md quotes these as the per-event overhead
+ * budget. Build with -DTQ_TELEMETRY=OFF and compare BM_ProbeNotExpired
+ * to bound the probe-cost regression of the always-compiled state.
  */
 #include <benchmark/benchmark.h>
 
@@ -17,6 +22,7 @@
 #include "coro/coroutine.h"
 #include "probe/probe.h"
 #include "runtime/worker_stats.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -134,6 +140,92 @@ BM_PreemptGuard(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PreemptGuard);
+
+void
+BM_TelemetryCounterInc(benchmark::State &state)
+{
+    // One relaxed fetch_add on a cache-line-padded per-worker counter:
+    // what a recording site pays besides the branch on telem != nullptr.
+    telemetry::WorkerCounters counters;
+    for (auto _ : state)
+        counters.quanta.fetch_add(1, std::memory_order_relaxed);
+    benchmark::DoNotOptimize(
+        counters.quanta.load(std::memory_order_relaxed));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void
+BM_TelemetryHistogramAdd(benchmark::State &state)
+{
+    // Bucket index (clz) + three relaxed fetch_adds.
+    telemetry::CycleHistogram hist;
+    uint64_t v = 1;
+    for (auto _ : state) {
+        hist.add(v);
+        v = v * 2862933555777941757ULL + 3037000493ULL; // cheap LCG
+    }
+    benchmark::DoNotOptimize(hist.count());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryHistogramAdd);
+
+void
+BM_TelemetryTraceRecord(benchmark::State &state)
+{
+    // RDTSC stamp + SPSC push. Sized so the ring never fills: this is
+    // the fast-path cost, not the drop path.
+    telemetry::TraceRing ring(0, 1 << 20);
+    uint64_t job = 0;
+    std::vector<telemetry::TraceEvent> sink;
+    for (auto _ : state) {
+        ring.record(telemetry::EventKind::QuantumStart, job++);
+        if ((job & ((1u << 19) - 1)) == 0) { // drain before wrap
+            state.PauseTiming();
+            sink.clear();
+            ring.drain(sink);
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryTraceRecord);
+
+void
+BM_TelemetryTraceRecordFull(benchmark::State &state)
+{
+    // Overflow path: ring stays full, every record drops. Must stay
+    // cheap and never block (the runtime keeps running blind).
+    telemetry::TraceRing ring(0, 8);
+    for (int i = 0; i < 8; ++i)
+        ring.record(telemetry::EventKind::QuantumStart, 0);
+    for (auto _ : state)
+        ring.record(telemetry::EventKind::QuantumStart, 1);
+    benchmark::DoNotOptimize(ring.dropped());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryTraceRecordFull);
+
+void
+BM_TelemetrySnapshot(benchmark::State &state)
+{
+    // Full registry snapshot with populated histograms: the cost the
+    // *observer* pays, amortised over however often it polls. Workers
+    // pay nothing.
+    telemetry::MetricsRegistry reg(16, 64);
+    for (int w = 0; w < 16; ++w) {
+        auto &wt = reg.worker(w);
+        for (uint64_t i = 0; i < 1000; ++i) {
+            wt.queue_cycles.add(i * 97);
+            wt.service_cycles.add(i * 13);
+        }
+    }
+    for (auto _ : state) {
+        const telemetry::MetricsSnapshot snap = reg.snapshot();
+        benchmark::DoNotOptimize(snap.quanta);
+    }
+}
+BENCHMARK(BM_TelemetrySnapshot);
 
 } // namespace
 

@@ -8,9 +8,14 @@
  * of the same runtime, and prints the GET tail latency of both: the
  * classic head-of-line-blocking demonstration, on the real system.
  *
- * Run: ./kv_server
+ * Run: ./kv_server [trace.json]
+ *
+ * With an argument, the PS run's quantum-event trace is exported as
+ * Chrome trace_event JSON and the telemetry stage decomposition is
+ * printed — the worked example walked through in OBSERVABILITY.md.
  */
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "core/tq.h"
@@ -53,7 +58,7 @@ struct BurstResult
 };
 
 BurstResult
-serve_burst(runtime::WorkPolicy policy)
+serve_burst(runtime::WorkPolicy policy, const char *trace_path = nullptr)
 {
     runtime::RuntimeConfig cfg;
     cfg.num_workers = 1;
@@ -93,6 +98,23 @@ serve_burst(runtime::WorkPolicy policy)
     }
     rt.stop();
 
+    if (trace_path != nullptr) {
+        if (!telemetry::kEnabled) {
+            std::printf("(telemetry compiled out: -DTQ_TELEMETRY=OFF; no "
+                        "trace written)\n");
+        } else {
+            std::printf("\n%s",
+                        rt.telemetry_snapshot().to_string().c_str());
+            std::vector<telemetry::TraceEvent> events;
+            rt.drain_trace(events);
+            std::ofstream out(trace_path);
+            telemetry::write_chrome_trace(out, events);
+            std::printf("wrote %zu trace events to %s (load in "
+                        "chrome://tracing or ui.perfetto.dev)\n\n",
+                        events.size(), trace_path);
+        }
+    }
+
     Cycles scan_done = 0;
     for (const auto &r : responses)
         if (r.id == 999)
@@ -108,13 +130,15 @@ serve_burst(runtime::WorkPolicy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("MiniKV on Tiny Quanta: %llu keys; one %zu-entry SCAN "
                 "submitted first, then 40 GETs, one worker.\n",
                 static_cast<unsigned long long>(kKeys), kScanLen);
 
-    const BurstResult ps = serve_burst(runtime::WorkPolicy::ProcessorSharing);
+    const char *trace_path = argc > 1 ? argv[1] : nullptr;
+    const BurstResult ps =
+        serve_burst(runtime::WorkPolicy::ProcessorSharing, trace_path);
     const BurstResult fcfs = serve_burst(runtime::WorkPolicy::Fcfs);
 
     std::printf("TQ (PS, 2us quanta): %d / %d GETs completed before the "

@@ -63,6 +63,7 @@
 #include "sim/central.h"
 #include "sim/sweep.h"
 #include "sim/two_level.h"
+#include "telemetry/telemetry.h"
 #include "workloads/minikv.h"
 #include "workloads/spin.h"
 #include "workloads/tpcc.h"

@@ -49,6 +49,11 @@ run_open_loop(Server &server, const ServiceDist &dist,
             e2e[c].add(r.e2e_ns());
             ++counts[c];
             ++stats.completed;
+#if defined(TQ_TELEMETRY_ENABLED)
+            if (cfg.metrics != nullptr)
+                cfg.metrics->client().sojourn_cycles.add(
+                    r.done_cycles - r.arrival_cycles);
+#endif
         }
     };
 
@@ -80,6 +85,16 @@ run_open_loop(Server &server, const ServiceDist &dist,
         std::this_thread::yield();
     }
     collect();
+
+#if defined(TQ_TELEMETRY_ENABLED)
+    if (cfg.metrics != nullptr) {
+        telemetry::ClientTelemetry &ct = cfg.metrics->client();
+        ct.submitted.fetch_add(stats.submitted, std::memory_order_relaxed);
+        ct.send_failures.fetch_add(stats.send_failures,
+                                   std::memory_order_relaxed);
+        ct.completed.fetch_add(stats.completed, std::memory_order_relaxed);
+    }
+#endif
 
     const double elapsed_ns = cycles_to_ns(rdcycles() - start);
     stats.achieved_mrps =

@@ -22,6 +22,7 @@
 #include "common/dist.h"
 #include "common/percentile.h"
 #include "runtime/request.h"
+#include "telemetry/telemetry.h"
 
 namespace tq::net {
 
@@ -36,7 +37,17 @@ struct LoadGenConfig
     double duration_sec = 0.5;  ///< generation window
     double warmup = 0.1;        ///< discarded sample prefix
     double drain_timeout_sec = 10.0; ///< wait for stragglers after window
-    uint64_t seed = 1;
+    uint64_t seed = 1;          ///< arrival-process RNG seed
+
+    /**
+     * Optional telemetry registry: when set (and the build has
+     * TQ_TELEMETRY on), the generator records client-side counters
+     * (submitted / send failures / completed) and the sojourn histogram
+     * into the registry's client slot, so server snapshots and
+     * client-side views come from one substrate. Typically
+     * `&runtime.metrics()`.
+     */
+    telemetry::MetricsRegistry *metrics = nullptr;
 };
 
 /** Per-class client-side latency statistics. */

@@ -19,12 +19,29 @@ probe_expired(ProbeState &s)
     if (s.preempt_disabled > 0) {
         // Inside a critical section: remember, yield at the next probe
         // that runs outside any guard (paper section 4).
+#if defined(TQ_TELEMETRY_ENABLED)
+        // Record the deferral once per expiry, not once per probe that
+        // re-observes the already-passed deadline inside the guard.
+        if (!s.yield_pending && s.telem != nullptr) {
+            s.telem->counters.guard_deferrals.fetch_add(
+                1, std::memory_order_relaxed);
+            s.telem->trace.record(telemetry::EventKind::GuardDeferredYield,
+                                  s.telem_job);
+        }
+#endif
         s.yield_pending = true;
         return;
     }
     s.yield_pending = false;
     TQ_CHECK(s.call_the_yield != nullptr);
     ++s.yields;
+#if defined(TQ_TELEMETRY_ENABLED)
+    if (s.telem != nullptr) {
+        s.telem->counters.yields.fetch_add(1, std::memory_order_relaxed);
+        s.telem->trace.record(telemetry::EventKind::ProbeYield,
+                              s.telem_job);
+    }
+#endif
     // Push the deadline out so nested probes reached while unwinding to
     // the yield do not recurse; the scheduler re-arms before resuming.
     s.deadline = ~Cycles{0};

@@ -22,6 +22,9 @@
 #include <cstdint>
 
 #include "common/cycles.h"
+#if defined(TQ_TELEMETRY_ENABLED)
+#include "telemetry/metrics.h"
+#endif
 
 namespace tq {
 
@@ -48,6 +51,14 @@ struct ProbeState
 
     /** Total yields taken through probes (stats). */
     uint64_t yields = 0;
+
+#if defined(TQ_TELEMETRY_ENABLED)
+    /** Telemetry sink of the worker owning this thread (may be null). */
+    telemetry::WorkerTelemetry *telem = nullptr;
+
+    /** Job id of the task about to run (for ProbeYield trace events). */
+    uint64_t telem_job = 0;
+#endif
 };
 
 /** @return this thread's probe state. */
@@ -70,6 +81,22 @@ bind_yield(YieldFn fn, void *arg)
     s.call_the_yield = fn;
     s.yield_arg = arg;
 }
+
+#if defined(TQ_TELEMETRY_ENABLED)
+/**
+ * Bind this thread's telemetry sink for the task about to be resumed,
+ * so the slow path of tq_probe() can attribute ProbeYield /
+ * GuardDeferredYield events to the right worker and job. Telemetry
+ * builds only; the probe fast path is unaffected either way.
+ */
+inline void
+bind_telemetry(telemetry::WorkerTelemetry *telem, uint64_t job)
+{
+    ProbeState &s = probe_state();
+    s.telem = telem;
+    s.telem_job = job;
+}
+#endif
 
 /**
  * Start a quantum of @p quantum_cycles ending relative to now.

@@ -31,18 +31,23 @@ enum class WorkPolicy {
 /** Runtime configuration. */
 struct RuntimeConfig
 {
-    int num_workers = 2;
-    double quantum_us = 2.0;
+    int num_workers = 2;      ///< worker scheduler threads
+    double quantum_us = 2.0;  ///< target quantum (PS/LAS policies)
 
     /** Task coroutines per worker. The paper observes stable performance
      *  at four or more and uses eight (section 5.1). */
     int tasks_per_worker = 8;
 
     size_t ring_capacity = 1 << 14; ///< per-ring request/response slots
-    DispatchPolicy dispatch = DispatchPolicy::JsqMsq;
-    WorkPolicy work = WorkPolicy::ProcessorSharing;
+    DispatchPolicy dispatch = DispatchPolicy::JsqMsq; ///< load balancer
+    WorkPolicy work = WorkPolicy::ProcessorSharing;   ///< per-core policy
 
     uint64_t seed = 1; ///< randomized policies (Random / PowerOfTwo)
+
+    /** Per-thread trace-ring capacity in events (telemetry builds).
+     *  Overflow drops events and counts them; it never blocks a worker
+     *  (see OBSERVABILITY.md). */
+    size_t telemetry_trace_capacity = 1 << 14;
 };
 
 } // namespace tq::runtime

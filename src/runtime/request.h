@@ -18,9 +18,12 @@ namespace tq::runtime {
 /** One incoming request. */
 struct Request
 {
-    uint64_t id = 0;
+    uint64_t id = 0;           ///< client-assigned request id
     Cycles gen_cycles = 0;     ///< client send timestamp
     Cycles arrival_cycles = 0; ///< stamped when the dispatcher receives it
+    Cycles dispatch_cycles = 0;///< stamped when the dispatcher hands the
+                               ///< job to a worker (telemetry builds;
+                               ///< 0 otherwise)
     int job_class = 0;         ///< workload class (short/long, GET/SCAN...)
     uint64_t payload = 0;      ///< class-specific argument (key, ns, ...)
 };

@@ -7,15 +7,20 @@ namespace tq::runtime {
 
 Runtime::Runtime(RuntimeConfig cfg, Handler handler)
     : cfg_(cfg),
+      metrics_(std::make_unique<telemetry::MetricsRegistry>(
+          cfg.num_workers,
+          telemetry::kEnabled ? cfg.telemetry_trace_capacity : 1)),
       rx_(cfg.ring_capacity),
       rng_(cfg.seed),
       assigned_(static_cast<size_t>(cfg.num_workers), 0),
       readers_(static_cast<size_t>(cfg.num_workers)),
-      finished_view_(static_cast<size_t>(cfg.num_workers), 0)
+      finished_view_(static_cast<size_t>(cfg.num_workers), 0),
+      snapshot_readers_(static_cast<size_t>(cfg.num_workers))
 {
     TQ_CHECK(cfg_.num_workers > 0);
     for (int w = 0; w < cfg_.num_workers; ++w)
-        workers_.push_back(std::make_unique<Worker>(w, cfg_, handler));
+        workers_.push_back(std::make_unique<Worker>(
+            w, cfg_, handler, &metrics_->worker(w)));
 }
 
 Runtime::~Runtime()
@@ -140,6 +145,24 @@ Runtime::pick_worker()
     return 0;
 }
 
+telemetry::MetricsSnapshot
+Runtime::telemetry_snapshot()
+{
+    telemetry::MetricsSnapshot snap = metrics_->snapshot();
+    // Cross-check against the dispatcher/worker stats contract: the
+    // shared 32-bit total_quanta counters, read wrap-tolerantly.
+    for (size_t w = 0; w < workers_.size(); ++w)
+        snap.stats_total_quanta += snapshot_readers_[w].read_total_quanta(
+            workers_[w]->stats_line());
+    return snap;
+}
+
+size_t
+Runtime::drain_trace(std::vector<telemetry::TraceEvent> &out)
+{
+    return metrics_->drain_trace(out);
+}
+
 void
 Runtime::dispatcher_main()
 {
@@ -158,6 +181,12 @@ Runtime::dispatcher_main()
         empty_polls = 0;
         req->arrival_cycles = rdcycles();
         const int target = pick_worker();
+#if defined(TQ_TELEMETRY_ENABLED)
+        // Stamp the handoff *before* the push: once the request is in
+        // the ring the worker may already be reading it.
+        const Cycles dispatched_at = rdcycles();
+        req->dispatch_cycles = dispatched_at;
+#endif
         auto &ring = workers_[static_cast<size_t>(target)]->dispatch_ring();
         while (!ring.push(*req)) {
             // Worker ring full: backpressure; wait for drainage.
@@ -167,6 +196,13 @@ Runtime::dispatcher_main()
         }
         ++assigned_[static_cast<size_t>(target)];
         ++dispatched_total_;
+#if defined(TQ_TELEMETRY_ENABLED)
+        telemetry::DispatcherTelemetry &dt = metrics_->dispatcher();
+        dt.dispatched.fetch_add(1, std::memory_order_relaxed);
+        dt.dispatch_cycles.add(dispatched_at - req->arrival_cycles);
+        dt.trace.record(telemetry::EventKind::JobDispatched, req->id,
+                        static_cast<uint32_t>(target));
+#endif
     }
 }
 

@@ -27,6 +27,7 @@
 #include "conc/mpmc_queue.h"
 #include "runtime/config.h"
 #include "runtime/worker.h"
+#include "telemetry/telemetry.h"
 
 namespace tq::runtime {
 
@@ -76,11 +77,37 @@ class Runtime
     /** Direct access for tests and examples. */
     Worker &worker(int i) { return *workers_[static_cast<size_t>(i)]; }
 
+    /**
+     * This runtime's telemetry registry (counters, stage histograms,
+     * trace rings). Always present; in `-DTQ_TELEMETRY=OFF` builds the
+     * hot paths record nothing, so everything reads zero.
+     */
+    telemetry::MetricsRegistry &metrics() { return *metrics_; }
+
+    /**
+     * Snapshot all metrics without stopping the runtime, folding in the
+     * wrap-tolerant cumulative quanta read from each worker's stats
+     * cache line (WorkerStatsReader::read_total_quanta()).
+     *
+     * Call from one thread at a time (the snapshot readers keep
+     * per-worker wrap state); concurrent with workers/dispatcher is
+     * fine.
+     */
+    telemetry::MetricsSnapshot telemetry_snapshot();
+
+    /**
+     * Drain every trace ring into @p out, merged and sorted by
+     * timestamp (see MetricsRegistry::drain_trace()). Single consumer.
+     * @return events appended.
+     */
+    size_t drain_trace(std::vector<telemetry::TraceEvent> &out);
+
   private:
     void dispatcher_main();
     int pick_worker();
 
     RuntimeConfig cfg_;
+    std::unique_ptr<telemetry::MetricsRegistry> metrics_;
     std::vector<std::unique_ptr<Worker>> workers_;
     MpmcQueue<Request> rx_;
     Rng rng_;
@@ -88,6 +115,9 @@ class Runtime
     std::vector<uint64_t> assigned_;
     std::vector<WorkerStatsReader> readers_;
     std::vector<uint64_t> finished_view_;
+    /** Snapshot-side stats readers; never shared with the dispatcher's
+     *  readers_, whose wrap state the dispatcher thread owns. */
+    std::vector<WorkerStatsReader> snapshot_readers_;
     uint64_t dispatched_total_ = 0;
 
     std::atomic<bool> stop_{false};

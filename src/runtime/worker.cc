@@ -8,10 +8,12 @@
 
 namespace tq::runtime {
 
-Worker::Worker(int id, const RuntimeConfig &cfg, Handler handler)
+Worker::Worker(int id, const RuntimeConfig &cfg, Handler handler,
+               telemetry::WorkerTelemetry *telem)
     : id_(id),
       cfg_(cfg),
       handler_(std::move(handler)),
+      telem_(telem),
       quantum_cycles_(ns_to_cycles(cfg.quantum_us * 1e3)),
       dispatch_ring_(cfg.ring_capacity),
       tx_ring_(cfg.ring_capacity)
@@ -52,10 +54,15 @@ Worker::poll_admissions()
         idle_.pop_back();
         task->req = *req;
         task->quanta = 0;
+        task->service_cycles = 0;
+        task->started = false;
         task->job_done = false;
         task->has_job = true;
         busy_.push_back(task);
         ++busy_count_;
+#if defined(TQ_TELEMETRY_ENABLED)
+        telem_->counters.admitted.fetch_add(1, std::memory_order_relaxed);
+#endif
     }
 }
 
@@ -83,12 +90,35 @@ Worker::run_one_slice()
     bind_yield(
         [](void *coro) { static_cast<Coroutine *>(coro)->yield(); },
         task->coro.get());
+#if defined(TQ_TELEMETRY_ENABLED)
+    bind_telemetry(telem_, task->req.id);
+    const Cycles slice_start = rdcycles();
+    if (!task->started) {
+        task->started = true;
+        // Queueing stage: dispatcher handoff -> first quantum start.
+        telem_->queue_cycles.add(slice_start - task->req.dispatch_cycles);
+    }
+    telem_->counters.quanta.fetch_add(1, std::memory_order_relaxed);
+    telem_->trace.record(telemetry::EventKind::QuantumStart, task->req.id,
+                         task->quanta);
+#endif
     if (cfg_.work == WorkPolicy::Fcfs)
         disarm_quantum(); // FCFS: probes never fire
     else
         arm_quantum(quantum_cycles_);
     task->coro->resume();
     disarm_quantum();
+#if defined(TQ_TELEMETRY_ENABLED)
+    const Cycles slice_end = rdcycles();
+    const Cycles slice = slice_end - slice_start;
+    task->service_cycles += slice;
+    if (!task->job_done && cfg_.work != WorkPolicy::Fcfs) {
+        // Preemption overhead: how far the slice ran past the armed
+        // deadline before a probe fired and the switch-out completed.
+        telem_->preempt_cycles.add(
+            slice > quantum_cycles_ ? slice - quantum_cycles_ : 0);
+    }
+#endif
 
     if (task->job_done) {
         complete(task);
@@ -123,6 +153,11 @@ Worker::complete(Task *task)
     stats_.finished.fetch_add(1, std::memory_order_relaxed);
     stats_.current_quanta.fetch_sub(task->quanta,
                                     std::memory_order_relaxed);
+#if defined(TQ_TELEMETRY_ENABLED)
+    telem_->counters.finished.fetch_add(1, std::memory_order_relaxed);
+    telem_->service_cycles.add(task->service_cycles);
+    telem_->trace.record(telemetry::EventKind::JobFinished, task->req.id);
+#endif
     --busy_count_;
     idle_.push_back(task);
 }

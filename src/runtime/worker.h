@@ -25,6 +25,7 @@
 #include "runtime/config.h"
 #include "runtime/request.h"
 #include "runtime/worker_stats.h"
+#include "telemetry/telemetry.h"
 
 namespace tq::runtime {
 
@@ -35,7 +36,16 @@ using Handler = std::function<uint64_t(const Request &)>;
 class Worker
 {
   public:
-    Worker(int id, const RuntimeConfig &cfg, Handler handler);
+    /**
+     * @param id worker index (trace thread id).
+     * @param cfg runtime configuration (quantum, policies, ring sizes).
+     * @param handler application job body.
+     * @param telem this worker's telemetry slot; recording happens only
+     *     in TQ_TELEMETRY builds, but the slot is always wired so
+     *     snapshots work in every configuration.
+     */
+    Worker(int id, const RuntimeConfig &cfg, Handler handler,
+           telemetry::WorkerTelemetry *telem);
 
     /** Dispatcher-side input ring (single producer: the dispatcher). */
     SpscRing<Request> &dispatch_ring() { return dispatch_ring_; }
@@ -55,17 +65,21 @@ class Worker
      */
     void run(const std::atomic<bool> &stop);
 
+    /** Worker index within the runtime. */
     int id() const { return id_; }
 
   private:
+    /** One task coroutine slot and its current job's bookkeeping. */
     struct Task
     {
-        Request req;
-        uint64_t result = 0;
+        Request req;               ///< job currently bound to the slot
+        uint64_t result = 0;       ///< handler return value
         uint32_t quanta = 0;       ///< quanta consumed by the current job
-        bool has_job = false;
-        bool job_done = false;
-        std::unique_ptr<Coroutine> coro;
+        Cycles service_cycles = 0; ///< accumulated slice time (telemetry)
+        bool started = false;      ///< first slice already ran
+        bool has_job = false;      ///< a job is admitted to this slot
+        bool job_done = false;     ///< handler returned; response pending
+        std::unique_ptr<Coroutine> coro; ///< persistent task coroutine
     };
 
     void poll_admissions();
@@ -75,6 +89,7 @@ class Worker
     int id_;
     const RuntimeConfig cfg_;
     Handler handler_;
+    telemetry::WorkerTelemetry *telem_;
     Cycles quantum_cycles_;
 
     SpscRing<Request> dispatch_ring_;

@@ -62,9 +62,29 @@ class WorkerStatsReader
         return line.current_quanta.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Refresh from the worker's line; returns cumulative total quanta.
+     *
+     * total_quanta is monotonic modulo 32-bit wrap, exactly like
+     * finished: reading the raw atomic is wrap-unsafe once a worker has
+     * serviced more than 2^32 quanta (under 2h at 1M quanta/s per the
+     * paper's rates), so consumers — the telemetry snapshot, stats,
+     * tests — must go through this delta-tracking reader instead.
+     */
+    uint64_t
+    read_total_quanta(const WorkerStatsLine &line)
+    {
+        const uint32_t now = line.total_quanta.load(std::memory_order_relaxed);
+        cumulative_quanta_ += static_cast<uint32_t>(now - last_quanta_);
+        last_quanta_ = now;
+        return cumulative_quanta_;
+    }
+
   private:
     uint32_t last_finished_ = 0;
     uint64_t cumulative_finished_ = 0;
+    uint32_t last_quanta_ = 0;
+    uint64_t cumulative_quanta_ = 0;
 };
 
 } // namespace tq::runtime

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Chrome `trace_event` JSON export of a drained event trace.
+ *
+ * The output loads in chrome://tracing and https://ui.perfetto.dev: one
+ * track per worker plus one for the dispatcher, with each serviced
+ * quantum rendered as a duration slice (QuantumStart paired with the
+ * ProbeYield / JobFinished that ended it) and dispatch / guard-deferral
+ * events as instants. Timestamps are converted from raw cycles to
+ * microseconds relative to the first event.
+ */
+#ifndef TQ_TELEMETRY_CHROME_TRACE_H
+#define TQ_TELEMETRY_CHROME_TRACE_H
+
+#include <ostream>
+#include <vector>
+
+#include "telemetry/events.h"
+
+namespace tq::telemetry {
+
+/** Export tuning knobs. */
+struct ChromeTraceOptions
+{
+    /**
+     * Cycle-counter frequency used for the cycles -> microseconds
+     * conversion. Leave at 0 to use the calibrated tq::cycles_per_ns();
+     * set explicitly for deterministic output (tests, offline traces).
+     */
+    double cycles_per_ns = 0;
+};
+
+/**
+ * Write @p events (sorted by TraceEvent::tsc, as produced by
+ * MetricsRegistry::drain_trace()) to @p os as Chrome trace JSON.
+ */
+void write_chrome_trace(std::ostream &os,
+                        const std::vector<TraceEvent> &events,
+                        const ChromeTraceOptions &opts = {});
+
+} // namespace tq::telemetry
+
+#endif // TQ_TELEMETRY_CHROME_TRACE_H

@@ -1,0 +1,170 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tq::telemetry {
+
+namespace {
+
+/**
+ * Summarize the union of several concurrently-written histograms:
+ * bucket counts, exact sums and counts are added bucket-wise / value-wise
+ * under relaxed loads (each source has a single writer).
+ */
+StageStats
+summarize_merged(const std::vector<const CycleHistogram *> &sources)
+{
+    StageStats s;
+    uint64_t buckets[CycleHistogram::kBuckets] = {};
+    uint64_t count = 0;
+    Cycles sum = 0;
+    for (const CycleHistogram *h : sources) {
+        const LogHistogram snap = h->snapshot();
+        for (int i = 0; i < snap.num_buckets(); ++i)
+            buckets[i] += snap.bucket_count(i);
+        count += h->count();
+        sum += h->sum();
+    }
+    uint64_t total = 0;
+    for (int i = 0; i < CycleHistogram::kBuckets; ++i) {
+        if (buckets[i] > 0)
+            s.hist.add(uint64_t{1} << i, buckets[i]);
+        total += buckets[i];
+    }
+    s.count = count;
+    if (count > 0)
+        s.mean_ns = cycles_to_ns(sum) / static_cast<double>(count);
+    if (total == 0)
+        return s;
+
+    // Bucket-resolution p99: first bucket whose cumulative count covers
+    // 99% of the bucket total, reported at its geometric midpoint.
+    const uint64_t target =
+        static_cast<uint64_t>(std::ceil(0.99 * static_cast<double>(total)));
+    uint64_t cumulative = 0;
+    for (int i = 0; i < CycleHistogram::kBuckets; ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= target) {
+            const double mid =
+                i == 0 ? 1.0
+                       : static_cast<double>(uint64_t{1} << i) *
+                             std::sqrt(2.0);
+            s.p99_ns = cycles_to_ns(static_cast<Cycles>(mid));
+            break;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+LogHistogram
+CycleHistogram::snapshot() const
+{
+    LogHistogram out(1, kBuckets);
+    for (int i = 0; i < kBuckets; ++i) {
+        const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+        if (n > 0)
+            out.add(uint64_t{1} << i, n);
+    }
+    return out;
+}
+
+StageStats
+summarize(const CycleHistogram &hist)
+{
+    return summarize_merged({&hist});
+}
+
+MetricsRegistry::MetricsRegistry(int num_workers, size_t trace_capacity)
+    : dispatcher_(trace_capacity)
+{
+    workers_.reserve(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w)
+        workers_.push_back(
+            std::make_unique<WorkerTelemetry>(w, trace_capacity));
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    s.dispatched = dispatcher_.dispatched.load(std::memory_order_relaxed);
+    s.trace_dropped = dispatcher_.trace.dropped();
+    std::vector<const CycleHistogram *> queue, service, preempt;
+    for (const auto &w : workers_) {
+        const WorkerCounters &c = w->counters;
+        s.admitted += c.admitted.load(std::memory_order_relaxed);
+        s.quanta += c.quanta.load(std::memory_order_relaxed);
+        s.yields += c.yields.load(std::memory_order_relaxed);
+        s.guard_deferrals +=
+            c.guard_deferrals.load(std::memory_order_relaxed);
+        s.finished += c.finished.load(std::memory_order_relaxed);
+        s.trace_dropped += w->trace.dropped();
+        queue.push_back(&w->queue_cycles);
+        service.push_back(&w->service_cycles);
+        preempt.push_back(&w->preempt_cycles);
+    }
+    s.dispatch = summarize(dispatcher_.dispatch_cycles);
+    s.sojourn = summarize(client_.sojourn_cycles);
+    s.queueing = summarize_merged(queue);
+    s.service = summarize_merged(service);
+    s.preempt = summarize_merged(preempt);
+    return s;
+}
+
+size_t
+MetricsRegistry::drain_trace(std::vector<TraceEvent> &out)
+{
+    const size_t before = out.size();
+    dispatcher_.trace.drain(out);
+    for (auto &w : workers_)
+        w->trace.drain(out);
+    std::sort(out.begin() + static_cast<ptrdiff_t>(before), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.tsc < b.tsc;
+              });
+    return out.size() - before;
+}
+
+std::string
+MetricsSnapshot::to_string() const
+{
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "jobs: dispatched %llu, admitted %llu, finished %llu\n",
+                  static_cast<unsigned long long>(dispatched),
+                  static_cast<unsigned long long>(admitted),
+                  static_cast<unsigned long long>(finished));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "quanta: %llu (probe yields %llu, guard-deferred %llu, "
+        "stats-line total %llu)\n",
+        static_cast<unsigned long long>(quanta),
+        static_cast<unsigned long long>(yields),
+        static_cast<unsigned long long>(guard_deferrals),
+        static_cast<unsigned long long>(stats_total_quanta));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "trace events dropped: %llu\n",
+                  static_cast<unsigned long long>(trace_dropped));
+    out += buf;
+    out += "stage\tcount\tmean_us\tp99_us\n";
+    const auto row = [&](const char *name, const StageStats &st) {
+        std::snprintf(buf, sizeof(buf), "%s\t%llu\t%.3f\t%.3f\n", name,
+                      static_cast<unsigned long long>(st.count),
+                      st.mean_ns / 1e3, st.p99_ns / 1e3);
+        out += buf;
+    };
+    row("dispatch", dispatch);
+    row("queueing", queueing);
+    row("service", service);
+    row("preempt", preempt);
+    row("sojourn", sojourn);
+    return out;
+}
+
+} // namespace tq::telemetry

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Cycle-accurate metrics: padded per-thread counters and concurrently
+ * readable log-bucketed histograms, aggregated by a MetricsRegistry.
+ *
+ * Layout follows the dispatcher/worker counter contract of the paper
+ * (section 4): every writer owns its own cache line, readers only load,
+ * and nothing on the hot path takes a lock or issues an ordered RMW.
+ * Snapshots are therefore safe *while the runtime is running*: they are
+ * per-counter linearizable (each value is a single relaxed load) but not
+ * a cross-counter atomic cut — totals observed across counters may be
+ * skewed by in-flight work. See OBSERVABILITY.md for the full contract.
+ *
+ * Histograms record raw cycle values into power-of-two buckets with an
+ * exact running sum, so snapshots expose both exact means and the bucket
+ * distribution (reusing common/histogram.h LogHistogram for rendering
+ * and percentile queries).
+ */
+#ifndef TQ_TELEMETRY_METRICS_H
+#define TQ_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cycles.h"
+#include "common/histogram.h"
+#include "conc/cacheline.h"
+#include "telemetry/trace_ring.h"
+
+namespace tq::telemetry {
+
+/**
+ * Lock-free log2-bucketed histogram of cycle counts.
+ *
+ * add() is wait-free (three relaxed fetch_adds on writer-owned lines in
+ * the common case of one writer per instance); any thread may snapshot
+ * concurrently. Bucket i counts values in [2^i, 2^(i+1)), with values 0
+ * and 1 sharing bucket 0 and values >= 2^(kBuckets-1) clamped into the
+ * last bucket.
+ */
+class CycleHistogram
+{
+  public:
+    /** Buckets cover [1, 2^40) cycles — beyond any per-event latency. */
+    static constexpr int kBuckets = 40;
+
+    /** Record one cycle-valued sample. Wait-free. */
+    void
+    add(Cycles value)
+    {
+        buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static int
+    bucket_of(Cycles value)
+    {
+        if (value < 2)
+            return 0;
+        const int log2 = 63 - __builtin_clzll(value);
+        return log2 < kBuckets ? log2 : kBuckets - 1;
+    }
+
+    /** Number of recorded samples at the time of the load. */
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+    /** Exact sum of recorded cycle values. */
+    Cycles sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /**
+     * Copy the bucket counts into a LogHistogram (base 1, kBuckets
+     * buckets) for rendering / fraction_above queries. Safe while
+     * writers are active; the copy is bucket-wise consistent.
+     */
+    LogHistogram snapshot() const;
+
+  private:
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> count_{0};
+};
+
+/** One worker thread's event counters, alone on their cache line. */
+struct alignas(kCacheLineSize) WorkerCounters
+{
+    std::atomic<uint64_t> admitted{0};        ///< jobs pulled off the
+                                              ///< dispatch ring
+    std::atomic<uint64_t> quanta{0};          ///< task slices resumed
+    std::atomic<uint64_t> yields{0};          ///< probe-forced preemptions
+    std::atomic<uint64_t> guard_deferrals{0}; ///< expiries deferred by a
+                                              ///< PreemptGuard
+    std::atomic<uint64_t> finished{0};        ///< jobs completed
+
+    /** Pad out the line so neighbouring workers never false-share. */
+    char pad[kCacheLineSize - 5 * sizeof(std::atomic<uint64_t>)];
+};
+
+static_assert(sizeof(WorkerCounters) == kCacheLineSize,
+              "one cache line per worker");
+
+/** Everything one worker thread writes: counters, stage histograms,
+ *  and its private trace ring. */
+class WorkerTelemetry
+{
+  public:
+    /** @param worker worker id (trace tid). @param trace_capacity ring
+     *  size in events. */
+    WorkerTelemetry(int worker, size_t trace_capacity)
+        : trace(static_cast<uint8_t>(worker), trace_capacity)
+    {
+    }
+
+    WorkerCounters counters;      ///< event counters (writer: the worker)
+    CycleHistogram queue_cycles;  ///< dispatch -> first quantum start
+    CycleHistogram service_cycles;///< per-job sum of slice durations
+    CycleHistogram preempt_cycles;///< per-preemption overshoot past the
+                                  ///< armed deadline (incl. switch-out)
+    TraceRing trace;              ///< typed event ring (producer: worker)
+};
+
+/** Dispatcher-thread telemetry: per-job dispatch cost and its ring. */
+class DispatcherTelemetry
+{
+  public:
+    /** @param trace_capacity ring size in events. */
+    explicit DispatcherTelemetry(size_t trace_capacity)
+        : trace(kDispatcherTid, trace_capacity)
+    {
+    }
+
+    /** Jobs forwarded to workers (writer: the dispatcher thread). */
+    std::atomic<uint64_t> dispatched{0};
+
+    CycleHistogram dispatch_cycles; ///< RX arrival -> handed to a worker
+    TraceRing trace;                ///< JobDispatched events
+};
+
+/** Client-side (load generator) telemetry. */
+class ClientTelemetry
+{
+  public:
+    std::atomic<uint64_t> submitted{0};     ///< requests accepted by RX
+    std::atomic<uint64_t> send_failures{0}; ///< RX-full rejections
+    std::atomic<uint64_t> completed{0};     ///< responses drained
+
+    CycleHistogram sojourn_cycles; ///< dispatcher arrival -> completion
+};
+
+/** Summary of one histogram-backed pipeline stage, in nanoseconds. */
+struct StageStats
+{
+    uint64_t count = 0;  ///< samples recorded
+    double mean_ns = 0;  ///< exact mean (from the running sum)
+    double p99_ns = 0;   ///< bucket-resolution 99th percentile
+
+    /** Bucket distribution (cycles; base 1, CycleHistogram::kBuckets). */
+    LogHistogram hist{1, CycleHistogram::kBuckets};
+};
+
+/** Point-in-time copy of every registry metric (values in ns). */
+struct MetricsSnapshot
+{
+    uint64_t dispatched = 0;       ///< jobs forwarded by the dispatcher
+    uint64_t admitted = 0;         ///< jobs admitted by workers
+    uint64_t finished = 0;         ///< jobs completed
+    uint64_t quanta = 0;           ///< task slices resumed
+    uint64_t yields = 0;           ///< probe-forced preemptions
+    uint64_t guard_deferrals = 0;  ///< guard-deferred expiries
+    uint64_t trace_dropped = 0;    ///< events lost to ring overflow
+
+    /** Cumulative serviced quanta from the workers' WorkerStatsLine
+     *  counters, read wrap-tolerantly (filled by
+     *  Runtime::telemetry_snapshot(); 0 when taken registry-only). */
+    uint64_t stats_total_quanta = 0;
+
+    StageStats dispatch; ///< RX arrival -> handed to a worker
+    StageStats queueing; ///< handed to a worker -> first quantum
+    StageStats service;  ///< sum of slice durations per job
+    StageStats preempt;  ///< per-preemption deadline overshoot
+    StageStats sojourn;  ///< client-observed arrival -> completion
+
+    /** Multi-line human-readable rendering (used by benches/tools). */
+    std::string to_string() const;
+};
+
+/**
+ * Owner of all telemetry state for one Runtime: one WorkerTelemetry per
+ * worker, the dispatcher's and the client's. Construction is the only
+ * allocation; everything afterwards is wait-free on the writer side and
+ * lock-free on the reader side.
+ */
+class MetricsRegistry
+{
+  public:
+    /**
+     * @param num_workers worker telemetry slots to create.
+     * @param trace_capacity per-ring event capacity (workers and
+     *     dispatcher each get their own ring of this size).
+     */
+    MetricsRegistry(int num_workers, size_t trace_capacity);
+
+    /** Telemetry slot of worker @p i. */
+    WorkerTelemetry &worker(int i) { return *workers_[static_cast<size_t>(i)]; }
+
+    /** @copydoc worker(int) */
+    const WorkerTelemetry &worker(int i) const
+    {
+        return *workers_[static_cast<size_t>(i)];
+    }
+
+    /** Dispatcher-thread slot. */
+    DispatcherTelemetry &dispatcher() { return dispatcher_; }
+
+    /** Client/load-generator slot. */
+    ClientTelemetry &client() { return client_; }
+
+    /** Number of worker slots. */
+    int num_workers() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Snapshot every counter and histogram without stopping writers.
+     * Safe from any thread; see the header comment for the consistency
+     * contract.
+     */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Drain all trace rings (workers + dispatcher) into @p out, merged
+     * and sorted by timestamp. Single consumer; callable while the
+     * runtime runs, though a post-run drain sees a complete window.
+     * @return number of events appended.
+     */
+    size_t drain_trace(std::vector<TraceEvent> &out);
+
+  private:
+    std::vector<std::unique_ptr<WorkerTelemetry>> workers_;
+    DispatcherTelemetry dispatcher_;
+    ClientTelemetry client_;
+};
+
+/** Summarize one histogram into StageStats (exact mean, bucket p99). */
+StageStats summarize(const CycleHistogram &hist);
+
+} // namespace tq::telemetry
+
+#endif // TQ_TELEMETRY_METRICS_H
