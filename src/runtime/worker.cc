@@ -144,9 +144,14 @@ Worker::complete(Task *task)
     resp.worker = id_;
     resp.result = task->result;
     // Response leaves directly from the worker (paper section 3.2). If
-    // the TX ring is full the collector is behind; politely wait.
-    while (!tx_ring_.push(resp))
+    // the TX ring is full the collector is behind; politely wait — but
+    // never past a stop request, or a client that quit draining would
+    // wedge Runtime::stop() behind this loop forever.
+    while (!tx_ring_.push(resp)) {
+        if (stop_ != nullptr && stop_->load(std::memory_order_relaxed))
+            break; // shutting down with no collector: drop the response
         std::this_thread::yield();
+    }
 
     // Publish to the dispatcher's cache line: one more finished job, and
     // the completed job's quanta leave the current-jobs sum.
@@ -165,6 +170,7 @@ Worker::complete(Task *task)
 void
 Worker::run(const std::atomic<bool> &stop)
 {
+    stop_ = &stop;
     int empty_polls = 0;
     while (true) {
         poll_admissions();

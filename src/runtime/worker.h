@@ -100,6 +100,8 @@ class Worker
     std::vector<Task *> idle_;
     std::deque<Task *> busy_;
     size_t busy_count_ = 0;
+    /** Stop flag passed to run(); checked in backpressure loops. */
+    const std::atomic<bool> *stop_ = nullptr;
 };
 
 } // namespace tq::runtime
