@@ -74,7 +74,10 @@ class Rng
     uint64_t
     below(uint64_t n)
     {
-        TQ_DCHECK(n > 0);
+        // A release build used to return 0 for n == 0, which silently
+        // turned callers' off-by-ones into out-of-bounds indexes (the
+        // PowerOfTwo single-worker dispatch bug); fail loudly instead.
+        TQ_CHECK(n > 0);
         // Lemire's multiply-shift rejection-free mapping (slightly biased
         // for astronomically large n; fine for simulation purposes).
         return static_cast<uint64_t>(

@@ -44,6 +44,23 @@ struct RuntimeConfig
 
     uint64_t seed = 1; ///< randomized policies (Random / PowerOfTwo)
 
+    /**
+     * stop()'s graceful-drain budget in seconds: how long stop() lets
+     * queued and in-flight jobs finish before escalating to a forced
+     * stop that abandons leftovers (counted; see DESIGN.md "Lifecycle &
+     * shutdown"). drain() takes its own deadline and ignores this.
+     */
+    double stop_deadline_sec = 1.0;
+
+    /**
+     * Bounded-backpressure overflow policy for the dispatcher->worker
+     * and worker->TX ring pushes. 0 (default): spin until the ring
+     * drains or a forced stop begins — never drop while running. N > 0:
+     * after N yield-spins the push gives up and the job/response is
+     * dropped and counted (abandoned_jobs / dropped_responses).
+     */
+    size_t push_spin_limit = 0;
+
     /** Per-thread trace-ring capacity in events (telemetry builds).
      *  Overflow drops events and counts them; it never blocks a worker
      *  (see OBSERVABILITY.md). */

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Runtime lifecycle state machine (DESIGN.md "Lifecycle & shutdown").
+ *
+ * The paper's runtime never stops: dedicated cores spin forever and the
+ * NIC always drains (section 3.2). This in-process reproduction
+ * timeshares one host, so quiescence is a first-class state — as in
+ * Shenango's and Shinjuku's runtimes — and every unbounded loop in the
+ * datapath must observe it. States move strictly forward:
+ *
+ *   Created -> Running -> Draining -> Stopping -> Stopped
+ *
+ * - Running:  accepting and executing work.
+ * - Draining: submit() rejects; dispatcher forwards what is already
+ *             queued, workers finish admitted jobs, then everyone exits.
+ * - Stopping: the drain deadline expired (or stop was forced): abandon
+ *             queued jobs, drop blocked pushes, exit now. Every
+ *             backpressure loop checks for this phase.
+ * - Stopped:  all threads joined.
+ *
+ * Only the controlling thread (the drain()/stop() caller, serialized by
+ * the Runtime's lifecycle mutex) advances the state; dispatcher and
+ * workers read it at loop boundaries and inside bounded push loops.
+ */
+#ifndef TQ_RUNTIME_LIFECYCLE_H
+#define TQ_RUNTIME_LIFECYCLE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace tq::runtime {
+
+/** Lifecycle phases, in strictly increasing order. */
+enum class Lifecycle : uint32_t {
+    Created = 0,  ///< constructed; threads not yet launched
+    Running = 1,  ///< accepting and executing work
+    Draining = 2, ///< no new work; finishing queued and in-flight jobs
+    Stopping = 3, ///< force-quit: abandon queued work, drop blocked pushes
+    Stopped = 4,  ///< all threads joined
+};
+
+/** Human-readable phase name (logs, tests). */
+inline const char *
+lifecycle_name(Lifecycle s)
+{
+    switch (s) {
+      case Lifecycle::Created:  return "Created";
+      case Lifecycle::Running:  return "Running";
+      case Lifecycle::Draining: return "Draining";
+      case Lifecycle::Stopping: return "Stopping";
+      case Lifecycle::Stopped:  return "Stopped";
+    }
+    return "?";
+}
+
+/**
+ * Shared lifecycle control block. Writer: the controlling thread.
+ * Readers: dispatcher and workers, relaxed loads at loop boundaries.
+ */
+struct LifecycleControl
+{
+    std::atomic<uint32_t> state{static_cast<uint32_t>(Lifecycle::Created)};
+
+    /** Set (release) by the dispatcher after it has forwarded the last
+     *  request it will ever forward; workers acquire it before deciding
+     *  their dispatch ring is finally empty. */
+    std::atomic<bool> dispatcher_done{false};
+
+    /** Current phase. */
+    Lifecycle
+    phase(std::memory_order order = std::memory_order_relaxed) const
+    {
+        return static_cast<Lifecycle>(state.load(order));
+    }
+
+    /** True once the force-quit phase has begun. */
+    bool
+    force_stop() const
+    {
+        return phase() >= Lifecycle::Stopping;
+    }
+
+    /** Advance @p from -> @p to; false if the state moved on already. */
+    bool
+    advance(Lifecycle from, Lifecycle to)
+    {
+        uint32_t expect = static_cast<uint32_t>(from);
+        return state.compare_exchange_strong(expect,
+                                             static_cast<uint32_t>(to),
+                                             std::memory_order_acq_rel);
+    }
+
+    /** Unconditionally enter @p to (monotonic escalation only). */
+    void
+    escalate(Lifecycle to)
+    {
+        state.store(static_cast<uint32_t>(to), std::memory_order_release);
+    }
+};
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_LIFECYCLE_H

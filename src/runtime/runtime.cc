@@ -12,15 +12,17 @@ Runtime::Runtime(RuntimeConfig cfg, Handler handler)
           telemetry::kEnabled ? cfg.telemetry_trace_capacity : 1)),
       rx_(cfg.ring_capacity),
       rng_(cfg.seed),
-      assigned_(static_cast<size_t>(cfg.num_workers), 0),
+      assigned_(std::make_unique<std::atomic<uint64_t>[]>(
+          static_cast<size_t>(cfg.num_workers))),
       readers_(static_cast<size_t>(cfg.num_workers)),
       finished_view_(static_cast<size_t>(cfg.num_workers), 0),
+      query_readers_(static_cast<size_t>(cfg.num_workers)),
       snapshot_readers_(static_cast<size_t>(cfg.num_workers))
 {
     TQ_CHECK(cfg_.num_workers > 0);
     for (int w = 0; w < cfg_.num_workers; ++w)
         workers_.push_back(std::make_unique<Worker>(
-            w, cfg_, handler, &metrics_->worker(w)));
+            w, cfg_, handler, &metrics_->worker(w), &lc_));
 }
 
 Runtime::~Runtime()
@@ -31,27 +33,72 @@ Runtime::~Runtime()
 void
 Runtime::start()
 {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
     TQ_CHECK(!started_);
     started_ = true;
-    threads_.emplace_back([this] { dispatcher_main(); });
+    TQ_CHECK(lc_.advance(Lifecycle::Created, Lifecycle::Running));
+    live_threads_.store(1 + cfg_.num_workers, std::memory_order_relaxed);
+    threads_.emplace_back([this] {
+        dispatcher_main();
+        live_threads_.fetch_sub(1, std::memory_order_acq_rel);
+    });
     for (auto &w : workers_)
-        threads_.emplace_back([&w, this] { w->run(stop_); });
+        threads_.emplace_back([&w, this] {
+            w->run();
+            live_threads_.fetch_sub(1, std::memory_order_acq_rel);
+        });
 }
 
 void
 Runtime::stop()
 {
-    if (!started_ || stop_.load())
-        return;
-    stop_.store(true);
+    (void)drain(cfg_.stop_deadline_sec);
+}
+
+bool
+Runtime::drain(double deadline_sec)
+{
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || lc_.phase() == Lifecycle::Stopped)
+        return drained_clean_; // idempotent: repeat the first outcome
+
+    // Running -> Draining: submit() starts rejecting, the dispatcher
+    // forwards what is queued and exits, workers finish and exit. (A
+    // no-op if a concurrent caller already moved the state forward.)
+    lc_.advance(Lifecycle::Running, Lifecycle::Draining);
+
+    const Cycles deadline =
+        rdcycles() + ns_to_cycles(deadline_sec * 1e9);
+    while (live_threads_.load(std::memory_order_acquire) > 0 &&
+           rdcycles() < deadline)
+        std::this_thread::yield();
+
+    if (live_threads_.load(std::memory_order_acquire) > 0) {
+        // Deadline expired: escalate. Every spin loop in the datapath
+        // checks this phase, so the joins below are bounded.
+        lc_.escalate(Lifecycle::Stopping);
+    }
     for (auto &t : threads_)
         t.join();
     threads_.clear();
+    lc_.escalate(Lifecycle::Stopped);
+
+    // Submissions that raced the Running -> Draining transition can land
+    // in RX after the dispatcher's final sweep; they were never
+    // forwarded, so count them abandoned.
+    while (rx_.pop())
+        dispatcher_abandoned_.fetch_add(1, std::memory_order_relaxed);
+
+    drained_clean_ = abandoned_jobs() == 0 && dropped_responses() == 0;
+    return drained_clean_;
 }
 
 bool
 Runtime::submit(const Request &req)
 {
+    // Created is accepted so clients may pre-queue before start().
+    if (lc_.phase() > Lifecycle::Running)
+        return false;
     return rx_.push(req);
 }
 
@@ -68,14 +115,46 @@ Runtime::drain_responses(std::vector<Response> &out)
     return n;
 }
 
+uint64_t
+Runtime::abandoned_jobs() const
+{
+    uint64_t n = dispatcher_abandoned_.load(std::memory_order_relaxed);
+    for (const auto &w : workers_)
+        n += w->abandoned_jobs();
+    return n;
+}
+
+uint64_t
+Runtime::dropped_responses() const
+{
+    uint64_t n = 0;
+    for (const auto &w : workers_)
+        n += w->dropped_responses();
+    return n;
+}
+
+uint64_t
+Runtime::tx_ring_full_spins() const
+{
+    uint64_t n = 0;
+    for (const auto &w : workers_)
+        n += w->tx_full_spins();
+    return n;
+}
+
 std::vector<uint64_t>
 Runtime::queue_lengths()
 {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     std::vector<uint64_t> lens(workers_.size());
     for (size_t w = 0; w < workers_.size(); ++w) {
-        finished_view_[w] = readers_[w].read_finished(
-            workers_[w]->stats_line());
-        lens[w] = assigned_[w] - finished_view_[w];
+        const uint64_t fin =
+            query_readers_[w].read_finished(workers_[w]->stats_line());
+        const uint64_t asn = assigned_[w].load(std::memory_order_relaxed);
+        // assigned_ is bumped *after* the ring push, so a fast worker can
+        // transiently put finished ahead of assigned; clamp instead of
+        // wrapping to 2^64.
+        lens[w] = asn > fin ? asn - fin : 0;
     }
     return lens;
 }
@@ -88,6 +167,8 @@ Runtime::pick_worker()
       case DispatchPolicy::Random:
         return static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
       case DispatchPolicy::PowerOfTwo: {
+        if (n == 1)
+            return 0; // no second worker to sample; degrade gracefully
         const int a = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
         int b = static_cast<int>(rng_.below(static_cast<uint64_t>(n - 1)));
         if (b >= a)
@@ -96,7 +177,8 @@ Runtime::pick_worker()
             finished_view_[static_cast<size_t>(i)] =
                 readers_[static_cast<size_t>(i)].read_finished(
                     workers_[static_cast<size_t>(i)]->stats_line());
-            return assigned_[static_cast<size_t>(i)] -
+            return assigned_[static_cast<size_t>(i)].load(
+                       std::memory_order_relaxed) -
                    finished_view_[static_cast<size_t>(i)];
         };
         return len(a) <= len(b) ? a : b;
@@ -110,16 +192,20 @@ Runtime::pick_worker()
             finished_view_[static_cast<size_t>(i)] =
                 readers_[static_cast<size_t>(i)].read_finished(
                     workers_[static_cast<size_t>(i)]->stats_line());
-            const uint64_t len = assigned_[static_cast<size_t>(i)] -
-                                 finished_view_[static_cast<size_t>(i)];
+            const uint64_t len =
+                assigned_[static_cast<size_t>(i)].load(
+                    std::memory_order_relaxed) -
+                finished_view_[static_cast<size_t>(i)];
             best_len = std::min(best_len, len);
         }
         int best = -1;
         uint32_t best_quanta = 0;
         uint64_t tie_count = 0;
         for (int i = 0; i < n; ++i) {
-            const uint64_t len = assigned_[static_cast<size_t>(i)] -
-                                 finished_view_[static_cast<size_t>(i)];
+            const uint64_t len =
+                assigned_[static_cast<size_t>(i)].load(
+                    std::memory_order_relaxed) -
+                finished_view_[static_cast<size_t>(i)];
             if (len != best_len)
                 continue;
             if (cfg_.dispatch == DispatchPolicy::JsqRandom) {
@@ -149,11 +235,21 @@ telemetry::MetricsSnapshot
 Runtime::telemetry_snapshot()
 {
     telemetry::MetricsSnapshot snap = metrics_->snapshot();
-    // Cross-check against the dispatcher/worker stats contract: the
-    // shared 32-bit total_quanta counters, read wrap-tolerantly.
-    for (size_t w = 0; w < workers_.size(); ++w)
-        snap.stats_total_quanta += snapshot_readers_[w].read_total_quanta(
-            workers_[w]->stats_line());
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        // Cross-check against the dispatcher/worker stats contract: the
+        // shared 32-bit total_quanta counters, read wrap-tolerantly.
+        for (size_t w = 0; w < workers_.size(); ++w)
+            snap.stats_total_quanta +=
+                snapshot_readers_[w].read_total_quanta(
+                    workers_[w]->stats_line());
+    }
+    // Backpressure/lifecycle counters record in every build (cold paths
+    // only), so fold them in even when TQ_TELEMETRY is off.
+    snap.tx_ring_full_spins = tx_ring_full_spins();
+    snap.dispatch_ring_full_spins = dispatch_ring_full_spins();
+    snap.dropped_responses = dropped_responses();
+    snap.abandoned_jobs = abandoned_jobs();
     return snap;
 }
 
@@ -163,13 +259,38 @@ Runtime::drain_trace(std::vector<telemetry::TraceEvent> &out)
     return metrics_->drain_trace(out);
 }
 
+bool
+Runtime::push_request(int target, const Request &req)
+{
+    auto &ring = workers_[static_cast<size_t>(target)]->dispatch_ring();
+    // Worker ring full: bounded backpressure — spin with a stop check,
+    // then a counted drop — mirroring the worker's TX policy.
+    const size_t limit = cfg_.push_spin_limit;
+    size_t spins = 0;
+    while (!ring.push(req)) {
+        if (lc_.force_stop() || (limit != 0 && spins >= limit)) {
+            dispatcher_abandoned_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        ++spins;
+        dispatch_full_spins_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+    }
+    return true;
+}
+
 void
 Runtime::dispatcher_main()
 {
     int empty_polls = 0;
-    while (!stop_.load(std::memory_order_relaxed)) {
+    for (;;) {
+        const Lifecycle phase = lc_.phase();
+        if (phase >= Lifecycle::Stopping)
+            break;
         auto req = rx_.pop();
         if (!req) {
+            if (phase == Lifecycle::Draining)
+                break; // everything queued has been forwarded
             if (++empty_polls >= 8) {
                 empty_polls = 0;
                 std::this_thread::yield();
@@ -187,15 +308,11 @@ Runtime::dispatcher_main()
         const Cycles dispatched_at = rdcycles();
         req->dispatch_cycles = dispatched_at;
 #endif
-        auto &ring = workers_[static_cast<size_t>(target)]->dispatch_ring();
-        while (!ring.push(*req)) {
-            // Worker ring full: backpressure; wait for drainage.
-            if (stop_.load(std::memory_order_relaxed))
-                return;
-            std::this_thread::yield();
-        }
-        ++assigned_[static_cast<size_t>(target)];
-        ++dispatched_total_;
+        if (!push_request(target, *req))
+            continue; // dropped (counted); the loop re-checks the phase
+        assigned_[static_cast<size_t>(target)].fetch_add(
+            1, std::memory_order_relaxed);
+        dispatched_total_.fetch_add(1, std::memory_order_relaxed);
 #if defined(TQ_TELEMETRY_ENABLED)
         telemetry::DispatcherTelemetry &dt = metrics_->dispatcher();
         dt.dispatched.fetch_add(1, std::memory_order_relaxed);
@@ -204,6 +321,11 @@ Runtime::dispatcher_main()
                         static_cast<uint32_t>(target));
 #endif
     }
+    // Force-stopped with requests still queued: they will never be
+    // forwarded — count them abandoned before announcing completion.
+    while (rx_.pop())
+        dispatcher_abandoned_.fetch_add(1, std::memory_order_relaxed);
+    lc_.dispatcher_done.store(true, std::memory_order_release);
 }
 
 } // namespace tq::runtime

@@ -11,6 +11,13 @@
  * The dispatcher never touches job payloads beyond forwarding (blind
  * scheduling needs no parsing, section 3.2) and never sees responses.
  *
+ * Lifecycle (runtime/lifecycle.h; DESIGN.md "Lifecycle & shutdown"):
+ * the runtime moves Created -> Running -> Draining -> Stopping ->
+ * Stopped. drain() finishes queued and in-flight work within a
+ * deadline; stop() is drain() with the configured deadline, after which
+ * leftovers are abandoned (counted) and blocked ring pushes drop
+ * (counted). Both are idempotent and safe to call from any thread.
+ *
  * On this reproduction's host the threads timeshare cores, so absolute
  * throughput is not meaningful — functional behaviour, preemption and
  * counter semantics are; capacity curves come from tq::sim (DESIGN.md).
@@ -20,12 +27,14 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "conc/mpmc_queue.h"
 #include "runtime/config.h"
+#include "runtime/lifecycle.h"
 #include "runtime/worker.h"
 #include "telemetry/telemetry.h"
 
@@ -42,21 +51,43 @@ class Runtime
      */
     Runtime(RuntimeConfig cfg, Handler handler);
 
-    /** Joins all threads; pending jobs are abandoned. */
+    /** Equivalent to stop(). */
     ~Runtime();
 
     Runtime(const Runtime &) = delete;
     Runtime &operator=(const Runtime &) = delete;
 
-    /** Launch dispatcher and worker threads. */
+    /** Launch dispatcher and worker threads (Created -> Running). */
     void start();
 
-    /** Stop accepting work and join all threads. Idempotent. */
+    /**
+     * Quiesce then join with the configured deadline: equivalent to
+     * drain(config().stop_deadline_sec) with the result ignored.
+     * Idempotent and thread-safe.
+     */
     void stop();
 
     /**
+     * Graceful shutdown: stop accepting work, finish everything already
+     * queued or in flight, then join all threads. If @p deadline_sec
+     * elapses first, escalate to a forced stop: queued jobs are
+     * abandoned and blocked TX pushes dropped, all of it counted
+     * (abandoned_jobs(), dropped_responses()). Idempotent and
+     * thread-safe; concurrent callers serialize and agree on the result.
+     *
+     * @return true when the shutdown was clean (nothing abandoned or
+     *     dropped over the runtime's whole life).
+     */
+    bool drain(double deadline_sec);
+
+    /** Current lifecycle phase. */
+    Lifecycle lifecycle() const { return lc_.phase(); }
+
+    /**
      * Submit one request (thread-safe; multiple clients allowed).
-     * @return false when the RX queue is full (client should back off).
+     * @return false when the RX queue is full or the runtime is past
+     *     Running (draining or stopped) — the client should back off or
+     *     give up.
      */
     bool submit(const Request &req);
 
@@ -66,11 +97,37 @@ class Runtime
      */
     size_t drain_responses(std::vector<Response> &out);
 
-    /** Dispatched-minus-finished per worker (dispatcher's JSQ view). */
+    /**
+     * Dispatched-minus-finished per worker. Thread-safe: external
+     * callers have their own wrap-tracking stats readers and never touch
+     * the dispatcher's JSQ view.
+     */
     std::vector<uint64_t> queue_lengths();
 
     /** Total requests forwarded by the dispatcher. */
-    uint64_t dispatched() const { return dispatched_total_; }
+    uint64_t
+    dispatched() const
+    {
+        return dispatched_total_.load(std::memory_order_relaxed);
+    }
+
+    /** Jobs accepted but never finished: dropped by the dispatcher's
+     *  overflow policy, still queued at a forced stop, or admitted to a
+     *  worker and abandoned there. */
+    uint64_t abandoned_jobs() const;
+
+    /** Responses dropped by the workers' TX overflow policy. */
+    uint64_t dropped_responses() const;
+
+    /** Worker TX-ring-full spin iterations (backpressure gauge). */
+    uint64_t tx_ring_full_spins() const;
+
+    /** Dispatcher ring-full spin iterations (backpressure gauge). */
+    uint64_t
+    dispatch_ring_full_spins() const
+    {
+        return dispatch_full_spins_.load(std::memory_order_relaxed);
+    }
 
     const RuntimeConfig &config() const { return cfg_; }
 
@@ -87,11 +144,11 @@ class Runtime
     /**
      * Snapshot all metrics without stopping the runtime, folding in the
      * wrap-tolerant cumulative quanta read from each worker's stats
-     * cache line (WorkerStatsReader::read_total_quanta()).
+     * cache line (WorkerStatsReader::read_total_quanta()) and the
+     * backpressure counters (which record in every build).
      *
-     * Call from one thread at a time (the snapshot readers keep
-     * per-worker wrap state); concurrent with workers/dispatcher is
-     * fine.
+     * Thread-safe: concurrent snapshots serialize on an internal mutex,
+     * and running workers/dispatcher are never disturbed.
      */
     telemetry::MetricsSnapshot telemetry_snapshot();
 
@@ -105,6 +162,7 @@ class Runtime
   private:
     void dispatcher_main();
     int pick_worker();
+    bool push_request(int target, const Request &req);
 
     RuntimeConfig cfg_;
     std::unique_ptr<telemetry::MetricsRegistry> metrics_;
@@ -112,17 +170,33 @@ class Runtime
     MpmcQueue<Request> rx_;
     Rng rng_;
 
-    std::vector<uint64_t> assigned_;
+    /** Per-worker assigned counts. Writer: the dispatcher; readers:
+     *  queue_lengths() callers (relaxed — the JSQ view is approximate
+     *  by design, paper section 4). */
+    std::unique_ptr<std::atomic<uint64_t>[]> assigned_;
+    /** Dispatcher-private JSQ wrap state; no other thread touches it. */
     std::vector<WorkerStatsReader> readers_;
     std::vector<uint64_t> finished_view_;
-    /** Snapshot-side stats readers; never shared with the dispatcher's
-     *  readers_, whose wrap state the dispatcher thread owns. */
-    std::vector<WorkerStatsReader> snapshot_readers_;
-    uint64_t dispatched_total_ = 0;
 
-    std::atomic<bool> stop_{false};
+    /** External readers' wrap state, guarded by stats_mu_. */
+    std::vector<WorkerStatsReader> query_readers_;
+    std::vector<WorkerStatsReader> snapshot_readers_;
+    std::mutex stats_mu_;
+
+    std::atomic<uint64_t> dispatched_total_{0};
+    std::atomic<uint64_t> dispatch_full_spins_{0};
+    /** Jobs the dispatcher dropped or left behind (see abandoned_jobs()). */
+    std::atomic<uint64_t> dispatcher_abandoned_{0};
+
+    LifecycleControl lc_;
+    std::atomic<int> live_threads_{0};
     std::vector<std::thread> threads_;
+
+    /** Serializes start/drain/stop; protects started_, threads_,
+     *  drained_clean_. */
+    std::mutex lifecycle_mu_;
     bool started_ = false;
+    bool drained_clean_ = true;
 };
 
 } // namespace tq::runtime

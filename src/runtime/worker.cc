@@ -9,17 +9,19 @@
 namespace tq::runtime {
 
 Worker::Worker(int id, const RuntimeConfig &cfg, Handler handler,
-               telemetry::WorkerTelemetry *telem)
+               telemetry::WorkerTelemetry *telem, const LifecycleControl *lc)
     : id_(id),
       cfg_(cfg),
       handler_(std::move(handler)),
       telem_(telem),
+      lc_(lc),
       quantum_cycles_(ns_to_cycles(cfg.quantum_us * 1e3)),
       dispatch_ring_(cfg.ring_capacity),
       tx_ring_(cfg.ring_capacity)
 {
     TQ_CHECK(cfg_.tasks_per_worker > 0);
     TQ_CHECK(handler_);
+    TQ_CHECK(lc_ != nullptr);
     for (int t = 0; t < cfg_.tasks_per_worker; ++t) {
         auto task = std::make_unique<Task>();
         Task *raw = task.get();
@@ -59,7 +61,7 @@ Worker::poll_admissions()
         task->job_done = false;
         task->has_job = true;
         busy_.push_back(task);
-        ++busy_count_;
+        busy_count_.fetch_add(1, std::memory_order_relaxed);
 #if defined(TQ_TELEMETRY_ENABLED)
         telem_->counters.admitted.fetch_add(1, std::memory_order_relaxed);
 #endif
@@ -132,6 +134,27 @@ Worker::run_one_slice()
     }
 }
 
+bool
+Worker::push_response(const Response &resp)
+{
+    // Response leaves directly from the worker (paper section 3.2). If
+    // the TX ring is full the collector is behind: bounded backpressure —
+    // spin with a stop check, then a counted drop — so a collector that
+    // stopped draining can never wedge this thread (or shutdown) forever.
+    const size_t limit = cfg_.push_spin_limit;
+    size_t spins = 0;
+    while (!tx_ring_.push(resp)) {
+        if (lc_->force_stop() || (limit != 0 && spins >= limit)) {
+            dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        ++spins;
+        tx_full_spins_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+    }
+    return true;
+}
+
 void
 Worker::complete(Task *task)
 {
@@ -143,18 +166,11 @@ Worker::complete(Task *task)
     resp.job_class = task->req.job_class;
     resp.worker = id_;
     resp.result = task->result;
-    // Response leaves directly from the worker (paper section 3.2). If
-    // the TX ring is full the collector is behind; politely wait — but
-    // never past a stop request, or a client that quit draining would
-    // wedge Runtime::stop() behind this loop forever.
-    while (!tx_ring_.push(resp)) {
-        if (stop_ != nullptr && stop_->load(std::memory_order_relaxed))
-            break; // shutting down with no collector: drop the response
-        std::this_thread::yield();
-    }
+    push_response(resp);
 
-    // Publish to the dispatcher's cache line: one more finished job, and
-    // the completed job's quanta leave the current-jobs sum.
+    // Publish to the dispatcher's cache line even when the response was
+    // dropped: the job *did* finish, and the JSQ view must not leak
+    // queue length.
     stats_.finished.fetch_add(1, std::memory_order_relaxed);
     stats_.current_quanta.fetch_sub(task->quanta,
                                     std::memory_order_relaxed);
@@ -163,33 +179,51 @@ Worker::complete(Task *task)
     telem_->service_cycles.add(task->service_cycles);
     telem_->trace.record(telemetry::EventKind::JobFinished, task->req.id);
 #endif
-    --busy_count_;
+    busy_count_.fetch_sub(1, std::memory_order_relaxed);
     idle_.push_back(task);
 }
 
 void
-Worker::run(const std::atomic<bool> &stop)
+Worker::abandon_remaining()
 {
-    stop_ = &stop;
+    uint64_t abandoned = static_cast<uint64_t>(busy_.size());
+    while (dispatch_ring_.pop())
+        ++abandoned;
+    if (abandoned != 0)
+        abandoned_jobs_.fetch_add(abandoned, std::memory_order_relaxed);
+}
+
+void
+Worker::run()
+{
     int empty_polls = 0;
-    while (true) {
+    for (;;) {
+        const Lifecycle phase = lc_->phase();
+        if (phase >= Lifecycle::Stopping)
+            break;
         poll_admissions();
-        if (busy_.empty()) {
-            if (stop.load(std::memory_order_relaxed))
-                break;
-            // On dedicated cores this would busy-poll; on shared hosts
-            // let other threads (dispatcher, client) make progress.
-            if (++empty_polls >= 8) {
-                empty_polls = 0;
-                std::this_thread::yield();
-            } else {
-                cpu_relax();
-            }
+        if (!busy_.empty()) {
+            empty_polls = 0;
+            run_one_slice();
             continue;
         }
-        empty_polls = 0;
-        run_one_slice();
+        // Idle. Fully drained once the dispatcher has forwarded its last
+        // request (acquire pairs with its release store) and nothing is
+        // left in the ring.
+        if (phase == Lifecycle::Draining &&
+            lc_->dispatcher_done.load(std::memory_order_acquire) &&
+            dispatch_ring_.empty())
+            break;
+        // On dedicated cores this would busy-poll; on shared hosts
+        // let other threads (dispatcher, client) make progress.
+        if (++empty_polls >= 8) {
+            empty_polls = 0;
+            std::this_thread::yield();
+        } else {
+            cpu_relax();
+        }
     }
+    abandon_remaining();
 }
 
 } // namespace tq::runtime

@@ -10,6 +10,12 @@
  * probe runtime's call_the_yield to that task's coroutine and arms the
  * quantum, so compiler-style probes inside the handler preempt the task
  * back to the scheduler.
+ *
+ * The loop is lifecycle-aware (runtime/lifecycle.h): in Draining it
+ * finishes admitted jobs and exits once the dispatcher is done and the
+ * dispatch ring is empty; in Stopping it abandons what is left. The TX
+ * push is bounded backpressure — spin with a stop check, then a counted
+ * drop — so a collector that stops draining can never wedge shutdown.
  */
 #ifndef TQ_RUNTIME_WORKER_H
 #define TQ_RUNTIME_WORKER_H
@@ -23,6 +29,7 @@
 #include "conc/spsc_ring.h"
 #include "coro/coroutine.h"
 #include "runtime/config.h"
+#include "runtime/lifecycle.h"
 #include "runtime/request.h"
 #include "runtime/worker_stats.h"
 #include "telemetry/telemetry.h"
@@ -43,9 +50,11 @@ class Worker
      * @param telem this worker's telemetry slot; recording happens only
      *     in TQ_TELEMETRY builds, but the slot is always wired so
      *     snapshots work in every configuration.
+     * @param lc the runtime's shared lifecycle control block; read at
+     *     loop boundaries and inside every backpressure loop.
      */
     Worker(int id, const RuntimeConfig &cfg, Handler handler,
-           telemetry::WorkerTelemetry *telem);
+           telemetry::WorkerTelemetry *telem, const LifecycleControl *lc);
 
     /** Dispatcher-side input ring (single producer: the dispatcher). */
     SpscRing<Request> &dispatch_ring() { return dispatch_ring_; }
@@ -56,14 +65,43 @@ class Worker
     /** The shared statistics cache line (paper section 4). */
     WorkerStatsLine &stats_line() { return stats_; }
 
-    /** Jobs admitted but not finished (scheduler-local; tests). */
-    size_t active_jobs() const { return busy_count_; }
+    /** Jobs admitted but not finished (readable from any thread). */
+    size_t
+    active_jobs() const
+    {
+        return busy_count_.load(std::memory_order_relaxed);
+    }
+
+    /** TX-ring-full spin iterations (backpressure pressure gauge). */
+    uint64_t
+    tx_full_spins() const
+    {
+        return tx_full_spins_.load(std::memory_order_relaxed);
+    }
+
+    /** Responses dropped by the overflow policy (force-stop with a full
+     *  TX ring, or a push that exceeded cfg.push_spin_limit). */
+    uint64_t
+    dropped_responses() const
+    {
+        return dropped_responses_.load(std::memory_order_relaxed);
+    }
+
+    /** Jobs abandoned at forced shutdown: admitted-but-unfinished tasks
+     *  plus requests still in the dispatch ring when the worker exited. */
+    uint64_t
+    abandoned_jobs() const
+    {
+        return abandoned_jobs_.load(std::memory_order_relaxed);
+    }
 
     /**
-     * Thread body: schedule until @p stop becomes true and all admitted
-     * jobs have drained or @p abandon is also true.
+     * Thread body: schedule until the lifecycle either drains this
+     * worker dry (Draining + dispatcher done + empty ring + no busy
+     * tasks) or force-stops it (Stopping; leftovers are counted
+     * abandoned).
      */
-    void run(const std::atomic<bool> &stop);
+    void run();
 
     /** Worker index within the runtime. */
     int id() const { return id_; }
@@ -85,11 +123,14 @@ class Worker
     void poll_admissions();
     void run_one_slice();
     void complete(Task *task);
+    bool push_response(const Response &resp);
+    void abandon_remaining();
 
     int id_;
     const RuntimeConfig cfg_;
     Handler handler_;
     telemetry::WorkerTelemetry *telem_;
+    const LifecycleControl *lc_;
     Cycles quantum_cycles_;
 
     SpscRing<Request> dispatch_ring_;
@@ -99,9 +140,14 @@ class Worker
     std::vector<std::unique_ptr<Task>> tasks_;
     std::vector<Task *> idle_;
     std::deque<Task *> busy_;
-    size_t busy_count_ = 0;
-    /** Stop flag passed to run(); checked in backpressure loops. */
-    const std::atomic<bool> *stop_ = nullptr;
+    std::atomic<size_t> busy_count_{0};
+
+    // Backpressure / shutdown accounting. Always recorded (unlike the
+    // TQ_TELEMETRY counters): every touch is on the cold overflow or
+    // shutdown path, never on the per-job fast path.
+    std::atomic<uint64_t> tx_full_spins_{0};
+    std::atomic<uint64_t> dropped_responses_{0};
+    std::atomic<uint64_t> abandoned_jobs_{0};
 };
 
 } // namespace tq::runtime

@@ -152,6 +152,15 @@ MetricsSnapshot::to_string() const
     std::snprintf(buf, sizeof(buf), "trace events dropped: %llu\n",
                   static_cast<unsigned long long>(trace_dropped));
     out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "backpressure: tx-full spins %llu, dispatch-full spins %llu, "
+        "dropped responses %llu, abandoned jobs %llu\n",
+        static_cast<unsigned long long>(tx_ring_full_spins),
+        static_cast<unsigned long long>(dispatch_ring_full_spins),
+        static_cast<unsigned long long>(dropped_responses),
+        static_cast<unsigned long long>(abandoned_jobs));
+    out += buf;
     out += "stage\tcount\tmean_us\tp99_us\n";
     const auto row = [&](const char *name, const StageStats &st) {
         std::snprintf(buf, sizeof(buf), "%s\t%llu\t%.3f\t%.3f\n", name,

@@ -178,6 +178,17 @@ struct MetricsSnapshot
      *  Runtime::telemetry_snapshot(); 0 when taken registry-only). */
     uint64_t stats_total_quanta = 0;
 
+    // Backpressure / lifecycle counters (filled by
+    // Runtime::telemetry_snapshot(); 0 when taken registry-only). These
+    // record in every build — including -DTQ_TELEMETRY=OFF — because
+    // they only ever touch the cold overflow and shutdown paths. See
+    // OBSERVABILITY.md section 1.4.
+    uint64_t tx_ring_full_spins = 0;       ///< worker TX push spin waits
+    uint64_t dispatch_ring_full_spins = 0; ///< dispatcher push spin waits
+    uint64_t dropped_responses = 0;        ///< TX overflow-policy drops
+    uint64_t abandoned_jobs = 0;           ///< jobs never finished (forced
+                                           ///< stop or dispatch overflow)
+
     StageStats dispatch; ///< RX arrival -> handed to a worker
     StageStats queueing; ///< handed to a worker -> first quantum
     StageStats service;  ///< sum of slice durations per job

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <map>
+#include <thread>
 
 #include "net/loadgen.h"
 #include "net/runtime_server.h"
@@ -280,6 +281,205 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, DispatchPolicies,
                              }
                              return "Unknown";
                          });
+
+TEST(Lifecycle, StatesProgressAcrossStartAndStop)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    Runtime rt(cfg, spin_handler());
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Created);
+    rt.start();
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Running);
+    rt.stop();
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+    EXPECT_FALSE(rt.submit(make_spin_request(0, 1000)))
+        << "submit must reject after stop";
+    rt.stop(); // idempotent
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+}
+
+TEST(Lifecycle, StopWithUndrainedTxRingReturns)
+{
+    // Regression: a client that stops draining responses must not wedge
+    // stop(). Small TX rings fill after a handful of jobs; the worker's
+    // push loop must notice the forced stop and drop instead of spinning.
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.ring_capacity = 4;
+    cfg.stop_deadline_sec = 0.2;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    // With 4-slot rings and no collector the whole pipeline backs up
+    // (TX full -> worker blocked -> dispatch ring full -> RX full), so
+    // bound the submission attempts: the jobs that do get in are enough
+    // to wedge every stage, which is the scenario under test.
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < 32; ++i)
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+            if (rt.submit(make_spin_request(i, 1000))) {
+                ++accepted;
+                break;
+            }
+            std::this_thread::yield();
+        }
+    ASSERT_GT(accepted, 4u) << "need enough jobs to fill the TX ring";
+
+    const Cycles t0 = rdcycles();
+    rt.stop(); // nobody ever drains: must still return
+    const double stop_sec = cycles_to_ns(rdcycles() - t0) / 1e9;
+    EXPECT_LT(stop_sec, 30.0) << "stop() must be bounded by its deadline";
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+    // Every accepted job is accounted: response still in the TX ring,
+    // response dropped at the full ring, or job abandoned by the forced
+    // stop before it ran.
+    std::vector<Response> leftovers;
+    rt.drain_responses(leftovers);
+    EXPECT_EQ(leftovers.size() + rt.dropped_responses() +
+                  rt.abandoned_jobs(),
+              accepted);
+    EXPECT_GT(rt.dropped_responses() + rt.abandoned_jobs(), 0u);
+}
+
+TEST(Lifecycle, DrainFinishesQueuedJobsBeforeJoining)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    constexpr uint64_t kJobs = 64;
+    for (uint64_t i = 0; i < kJobs; ++i)
+        while (!rt.submit(make_spin_request(i, 2000)))
+            std::this_thread::yield();
+
+    // Default rings hold every response, so a drain with a generous
+    // deadline must finish all queued work without any collector.
+    EXPECT_TRUE(rt.drain(/*deadline_sec=*/60.0));
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+    EXPECT_EQ(rt.abandoned_jobs(), 0u);
+    EXPECT_EQ(rt.dropped_responses(), 0u);
+    std::vector<Response> responses;
+    rt.drain_responses(responses);
+    EXPECT_EQ(responses.size(), kJobs);
+    EXPECT_EQ(rt.dispatched(), kJobs);
+}
+
+TEST(Lifecycle, StopIsIdempotentAndThreadSafe)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    for (uint64_t i = 0; i < 50; ++i)
+        while (!rt.submit(make_spin_request(i, 1000)))
+            std::this_thread::yield();
+
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t)
+        stoppers.emplace_back([&rt] { rt.stop(); });
+    rt.stop();
+    for (auto &t : stoppers)
+        t.join();
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+}
+
+TEST(Lifecycle, PushSpinLimitDropsInsteadOfBlocking)
+{
+    // Overflow policy: with a finite spin budget and a stalled collector,
+    // a full TX ring must produce counted drops while the runtime is
+    // still Running — not only at shutdown.
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.ring_capacity = 4;
+    cfg.push_spin_limit = 50;
+    cfg.stop_deadline_sec = 0.2;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    constexpr uint64_t kJobs = 64;
+    for (uint64_t i = 0; i < kJobs; ++i)
+        while (!rt.submit(make_spin_request(i, 500)))
+            std::this_thread::yield();
+    // The bounded policy guarantees progress: every accepted job either
+    // finishes (response delivered or dropped at the full TX ring) or is
+    // dropped by the dispatcher once its push budget runs out. Nothing
+    // blocks forever.
+    const Cycles deadline = rdcycles() + ns_to_cycles(60e9);
+    const auto settled = [&] {
+        return rt.worker(0).stats_line().finished.load() +
+                   rt.abandoned_jobs() >=
+               kJobs;
+    };
+    while (!settled() && rdcycles() < deadline)
+        std::this_thread::yield();
+    EXPECT_EQ(rt.worker(0).stats_line().finished.load() +
+                  rt.abandoned_jobs(),
+              kJobs);
+    EXPECT_GT(rt.dropped_responses(), 0u);
+    EXPECT_GT(rt.tx_ring_full_spins(), 0u);
+    rt.stop();
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+}
+
+TEST(Runtime, PowerOfTwoWithSingleWorkerDegrades)
+{
+    // Regression: PowerOfTwo with one worker used to sample rng.below(0)
+    // and index workers_[1] (out of bounds in release builds).
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.dispatch = DispatchPolicy::PowerOfTwo;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 50; ++i)
+        reqs.push_back(make_spin_request(i, 2000));
+    const auto responses = run_requests(rt, reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    for (const auto &r : responses)
+        EXPECT_EQ(r.worker, 0);
+    rt.stop();
+}
+
+TEST(Runtime, QueueLengthsAndSnapshotsSafeWhileDispatching)
+{
+    // Regression for the cross-thread race: external queue_lengths() and
+    // telemetry_snapshot() calls used to mutate the dispatcher's own
+    // wrap-tracking state while it ran. Hammer both from two threads
+    // during a dispatch storm; TSan (CI) proves the absence of races,
+    // and the final counters prove nothing was corrupted.
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+
+    std::atomic<bool> done{false};
+    std::thread observer1([&] {
+        while (!done.load()) {
+            for (uint64_t len : rt.queue_lengths())
+                EXPECT_LT(len, 1u << 20) << "queue length corrupted";
+            (void)rt.dispatched();
+            std::this_thread::yield();
+        }
+    });
+    std::thread observer2([&] {
+        while (!done.load()) {
+            const auto snap = rt.telemetry_snapshot();
+            EXPECT_LE(snap.finished, snap.dispatched + 1000000u);
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 400; ++i)
+        reqs.push_back(make_spin_request(i, 1000 + (i % 7) * 500));
+    const auto responses = run_requests(rt, reqs);
+    done.store(true);
+    observer1.join();
+    observer2.join();
+    ASSERT_EQ(responses.size(), reqs.size());
+    EXPECT_EQ(rt.dispatched(), reqs.size());
+    for (uint64_t len : rt.queue_lengths())
+        EXPECT_EQ(len, 0u);
+    rt.stop();
+}
 
 TEST(LoadGen, OpenLoopRoundTripsAgainstRuntime)
 {
