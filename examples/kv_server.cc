@@ -8,13 +8,22 @@
  * of the same runtime, and prints the GET tail latency of both: the
  * classic head-of-line-blocking demonstration, on the real system.
  *
- * Run: ./kv_server [trace.json]
+ * Run: ./kv_server [--chaos[=seed]] [trace.json]
  *
- * With an argument, the PS run's quantum-event trace is exported as
+ * With a path argument, the PS run's quantum-event trace is exported as
  * Chrome trace_event JSON and the telemetry stage decomposition is
  * printed — the worked example walked through in OBSERVABILITY.md.
+ *
+ * With --chaos, every fault-injection hook site is armed with seeded
+ * deterministic yields plus a per-completion stall, and the PS run
+ * reports the backpressure counters afterwards — a quick way to watch
+ * the drain/stop machinery absorb a misbehaving datapath. Requires a
+ * tree configured with -DTQ_FAULT_INJECTION=ON; otherwise the flag
+ * prints a note and runs normally.
  */
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 
@@ -57,6 +66,22 @@ struct BurstResult
     int gets_total = 0;
 };
 
+/** Arm seeded chaos at every hook site; 0 disarms (plain run). */
+uint64_t g_chaos_seed = 0;
+
+void
+arm_chaos()
+{
+    auto &inj = fault::FaultInjector::instance();
+    inj.reset();
+    inj.seed(g_chaos_seed);
+    for (int s = 0; s < static_cast<int>(fault::Site::kCount); ++s)
+        inj.yield_every(static_cast<fault::Site>(s), 16);
+    // A sluggish response path on top of the yields: every completion
+    // stalls before the TX push, so the ring backs up for real.
+    inj.stall(fault::Site::WorkerComplete, 5.0);
+}
+
 BurstResult
 serve_burst(runtime::WorkPolicy policy, const char *trace_path = nullptr)
 {
@@ -76,6 +101,8 @@ serve_burst(runtime::WorkPolicy policy, const char *trace_path = nullptr)
         }
         return checksum;
     });
+    if (g_chaos_seed != 0)
+        arm_chaos();
     rt.start();
 
     constexpr int kGets = 40;
@@ -97,6 +124,19 @@ serve_burst(runtime::WorkPolicy policy, const char *trace_path = nullptr)
         std::this_thread::yield();
     }
     rt.stop();
+
+    if (g_chaos_seed != 0) {
+        std::printf("[chaos seed %llu] backpressure under fault load: "
+                    "tx-full spins %llu, dispatch-full spins %llu, "
+                    "dropped %llu, abandoned %llu\n",
+                    static_cast<unsigned long long>(g_chaos_seed),
+                    static_cast<unsigned long long>(rt.tx_ring_full_spins()),
+                    static_cast<unsigned long long>(
+                        rt.dispatch_ring_full_spins()),
+                    static_cast<unsigned long long>(rt.dropped_responses()),
+                    static_cast<unsigned long long>(rt.abandoned_jobs()));
+        fault::FaultInjector::instance().reset();
+    }
 
     if (trace_path != nullptr) {
         if (!telemetry::kEnabled) {
@@ -136,7 +176,24 @@ main(int argc, char **argv)
                 "submitted first, then 40 GETs, one worker.\n",
                 static_cast<unsigned long long>(kKeys), kScanLen);
 
-    const char *trace_path = argc > 1 ? argv[1] : nullptr;
+    const char *trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--chaos", 7) == 0) {
+            g_chaos_seed =
+                argv[i][7] == '=' ? std::strtoull(argv[i] + 8, nullptr, 10)
+                                  : 1;
+            if (g_chaos_seed == 0)
+                g_chaos_seed = 1;
+        } else {
+            trace_path = argv[i];
+        }
+    }
+    if (g_chaos_seed != 0 && !fault::kEnabled) {
+        std::printf("(--chaos: fault hooks compiled out; configure with "
+                    "-DTQ_FAULT_INJECTION=ON. Running without faults.)\n");
+        g_chaos_seed = 0;
+    }
+
     const BurstResult ps =
         serve_burst(runtime::WorkPolicy::ProcessorSharing, trace_path);
     const BurstResult fcfs = serve_burst(runtime::WorkPolicy::Fcfs);

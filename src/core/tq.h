@@ -54,6 +54,7 @@
 #include "conc/mpmc_queue.h"
 #include "conc/spsc_ring.h"
 #include "coro/coroutine.h"
+#include "fault/fault.h"
 #include "net/loadgen.h"
 #include "net/runtime_server.h"
 #include "probe/probe.h"

@@ -1,0 +1,140 @@
+#include "fault/fault.h"
+
+#include <thread>
+
+#include "common/check.h"
+#include "common/cycles.h"
+#include "conc/cacheline.h"
+
+namespace tq::fault {
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates consecutive visit numbers. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+site_name(Site s)
+{
+    switch (s) {
+      case Site::DispatcherPoll:  return "dispatcher_poll";
+      case Site::DispatcherPush:  return "dispatcher_push";
+      case Site::WorkerPoll:      return "worker_poll";
+      case Site::WorkerSlice:     return "worker_slice";
+      case Site::WorkerComplete:  return "worker_complete";
+      case Site::LoadgenSend:     return "loadgen_send";
+      case Site::LoadgenCollect:  return "loadgen_collect";
+      case Site::kCount:          break;
+    }
+    return "?";
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::reset()
+{
+    for (auto &site : sites_) {
+        site.stall_cycles.store(0, std::memory_order_relaxed);
+        site.yield_every.store(0, std::memory_order_relaxed);
+        site.frozen.store(false, std::memory_order_release);
+        site.visits.store(0, std::memory_order_relaxed);
+    }
+    released_.store(false, std::memory_order_release);
+    seed_.store(1, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::seed(uint64_t s)
+{
+    seed_.store(s, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::stall(Site site, double us)
+{
+    TQ_CHECK(site < Site::kCount);
+    sites_[static_cast<int>(site)].stall_cycles.store(
+        ns_to_cycles(us * 1e3), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::freeze(Site site)
+{
+    TQ_CHECK(site < Site::kCount);
+    sites_[static_cast<int>(site)].frozen.store(true,
+                                                std::memory_order_release);
+}
+
+void
+FaultInjector::yield_every(Site site, uint64_t n)
+{
+    TQ_CHECK(site < Site::kCount);
+    sites_[static_cast<int>(site)].yield_every.store(
+        n, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::release_all()
+{
+    released_.store(true, std::memory_order_release);
+}
+
+uint64_t
+FaultInjector::visits(Site site) const
+{
+    TQ_CHECK(site < Site::kCount);
+    return sites_[static_cast<int>(site)].visits.load(
+        std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::yields_at(uint64_t seed, uint64_t n, uint64_t visit)
+{
+    if (n == 0)
+        return false;
+    return mix(seed ^ (visit * 0x9e3779b97f4a7c15ULL)) % n == 0;
+}
+
+void
+FaultInjector::on_site(Site site)
+{
+    SiteState &st = sites_[static_cast<int>(site)];
+    const uint64_t visit =
+        st.visits.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    const uint64_t stall = st.stall_cycles.load(std::memory_order_relaxed);
+    if (stall != 0) {
+        const Cycles until = rdcycles() + stall;
+        while (rdcycles() < until)
+            cpu_relax();
+    }
+
+    const uint64_t n = st.yield_every.load(std::memory_order_relaxed);
+    if (n != 0 &&
+        yields_at(seed_.load(std::memory_order_relaxed), n, visit))
+        std::this_thread::yield();
+
+    // Freeze last: a frozen thread wakes only on release_all() — which
+    // the runtime invokes when it escalates to a forced stop, so a
+    // frozen stage can never outlive the lifecycle deadline machinery.
+    while (st.frozen.load(std::memory_order_acquire) &&
+           !released_.load(std::memory_order_acquire))
+        std::this_thread::yield();
+}
+
+} // namespace tq::fault

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic fault injection for the runtime datapath.
+ *
+ * Chaos tooling in the spirit of the drain/backpressure testing that
+ * Shenango and Shinjuku apply to their runtimes: named hook sites in
+ * the dispatcher, workers and load generator can be armed with
+ * deterministic, seeded faults —
+ *
+ *  - stall:  spin the calling thread for a fixed duration per visit
+ *            (a slow collector, a descheduled worker),
+ *  - freeze: block at the site until released (a hung thread; released
+ *            automatically when the runtime force-stops, modelling the
+ *            lifecycle deadline reclaiming a wedged stage),
+ *  - yield_every(n): deterministic pseudo-random sched yields, seeded,
+ *            to shake out ordering assumptions between the threads.
+ *
+ * The hot-path hook `TQ_FAULT_SITE(name)` compiles to nothing unless
+ * the tree is configured with `-DTQ_FAULT_INJECTION=ON`, so default
+ * builds carry zero overhead. The FaultInjector class itself always
+ * compiles (tests probe `tq::fault::kEnabled` and skip scenarios that
+ * need compiled-in hooks).
+ *
+ * The injector is a process-wide singleton: hook sites are static
+ * program points, and tests drive one runtime at a time. reset() between
+ * scenarios.
+ */
+#ifndef TQ_FAULT_FAULT_H
+#define TQ_FAULT_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace tq::fault {
+
+/** True when the hot-path hook sites are compiled in. */
+#if defined(TQ_FAULT_INJECTION_ENABLED)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/** Named hook sites in the datapath (see DESIGN.md for placement). */
+enum class Site : int {
+    DispatcherPoll = 0, ///< dispatcher loop, before the RX pop
+    DispatcherPush,     ///< dispatcher, before a worker-ring push attempt
+    WorkerPoll,         ///< worker loop, before polling admissions
+    WorkerSlice,        ///< worker, before resuming a task coroutine
+    WorkerComplete,     ///< worker, before the TX push attempt
+    LoadgenSend,        ///< load generator, before a submit
+    LoadgenCollect,     ///< load generator, before draining responses
+    kCount
+};
+
+/** Human-readable site name. */
+const char *site_name(Site s);
+
+/**
+ * Process-wide fault registry. Arming/disarming may happen from any
+ * thread; hook sites read the armed state with relaxed atomics.
+ */
+class FaultInjector
+{
+  public:
+    /** The process-wide injector. */
+    static FaultInjector &instance();
+
+    /** Disarm every site, release every freeze, zero visit counters. */
+    void reset();
+
+    /** Seed the deterministic yield pattern (default 1). */
+    void seed(uint64_t s);
+
+    /** Arm a per-visit busy stall of @p us microseconds at @p site. */
+    void stall(Site site, double us);
+
+    /** Freeze @p site: visiting threads block until release_all(). */
+    void freeze(Site site);
+
+    /** Arm deterministic yields: roughly one visit in @p n yields,
+     *  chosen by a seeded hash of the visit number. 0 disarms. */
+    void yield_every(Site site, uint64_t n);
+
+    /** Release every frozen site (also called by the runtime when it
+     *  escalates to a forced stop, so joins always terminate). */
+    void release_all();
+
+    /** Times @p site has been visited since the last reset(). */
+    uint64_t visits(Site site) const;
+
+    /** Hook body; invoked by TQ_FAULT_SITE in instrumented builds. */
+    void on_site(Site site);
+
+    /**
+     * The deterministic yield decision, exposed pure for tests: does
+     * visit number @p visit yield when armed with yield_every(@p n)
+     * under @p seed?
+     */
+    static bool yields_at(uint64_t seed, uint64_t n, uint64_t visit);
+
+  private:
+    FaultInjector() = default;
+
+    struct SiteState
+    {
+        std::atomic<uint64_t> stall_cycles{0};
+        std::atomic<uint64_t> yield_every{0};
+        std::atomic<bool> frozen{false};
+        std::atomic<uint64_t> visits{0};
+    };
+
+    SiteState sites_[static_cast<int>(Site::kCount)];
+    std::atomic<uint64_t> seed_{1};
+    std::atomic<bool> released_{false};
+};
+
+} // namespace tq::fault
+
+/**
+ * Hot-path hook. Compiles to nothing unless the build enables
+ * TQ_FAULT_INJECTION; instrumented builds consult the injector.
+ */
+#if defined(TQ_FAULT_INJECTION_ENABLED)
+#define TQ_FAULT_SITE(site)                                                 \
+    ::tq::fault::FaultInjector::instance().on_site(::tq::fault::Site::site)
+#else
+#define TQ_FAULT_SITE(site) ((void)0)
+#endif
+
+#endif // TQ_FAULT_FAULT_H

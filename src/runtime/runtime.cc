@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/cycles.h"
+#include "fault/fault.h"
 
 namespace tq::runtime {
 
@@ -77,6 +78,12 @@ Runtime::drain(double deadline_sec)
         // Deadline expired: escalate. Every spin loop in the datapath
         // checks this phase, so the joins below are bounded.
         lc_.escalate(Lifecycle::Stopping);
+#if defined(TQ_FAULT_INJECTION_ENABLED)
+        // Frozen fault sites model hung threads; the forced stop is the
+        // point where the machinery reclaims them, so let them go or
+        // the joins below would inherit the hang.
+        fault::FaultInjector::instance().release_all();
+#endif
     }
     for (auto &t : threads_)
         t.join();
@@ -88,6 +95,11 @@ Runtime::drain(double deadline_sec)
     // forwarded, so count them abandoned.
     while (rx_.pop())
         dispatcher_abandoned_.fetch_add(1, std::memory_order_relaxed);
+    // Likewise the dispatcher can push into a worker's ring after that
+    // (force-stopped) worker's own final sweep; every thread is joined
+    // now, so a second sweep is safe and closes the accounting.
+    for (auto &w : workers_)
+        w->abandon_remaining();
 
     drained_clean_ = abandoned_jobs() == 0 && dropped_responses() == 0;
     return drained_clean_;
@@ -262,6 +274,7 @@ Runtime::drain_trace(std::vector<telemetry::TraceEvent> &out)
 bool
 Runtime::push_request(int target, const Request &req)
 {
+    TQ_FAULT_SITE(DispatcherPush);
     auto &ring = workers_[static_cast<size_t>(target)]->dispatch_ring();
     // Worker ring full: bounded backpressure — spin with a stop check,
     // then a counted drop — mirroring the worker's TX policy.
@@ -284,6 +297,7 @@ Runtime::dispatcher_main()
 {
     int empty_polls = 0;
     for (;;) {
+        TQ_FAULT_SITE(DispatcherPoll);
         const Lifecycle phase = lc_.phase();
         if (phase >= Lifecycle::Stopping)
             break;

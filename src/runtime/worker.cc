@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/cycles.h"
+#include "fault/fault.h"
 #include "probe/probe.h"
 
 namespace tq::runtime {
@@ -71,6 +72,7 @@ Worker::poll_admissions()
 void
 Worker::run_one_slice()
 {
+    TQ_FAULT_SITE(WorkerSlice);
     Task *task;
     if (cfg_.work == WorkPolicy::Las) {
         // Least-attained-service: resume the busy task that has consumed
@@ -141,6 +143,7 @@ Worker::push_response(const Response &resp)
     // the TX ring is full the collector is behind: bounded backpressure —
     // spin with a stop check, then a counted drop — so a collector that
     // stopped draining can never wedge this thread (or shutdown) forever.
+    TQ_FAULT_SITE(WorkerComplete);
     const size_t limit = cfg_.push_spin_limit;
     size_t spins = 0;
     while (!tx_ring_.push(resp)) {
@@ -186,7 +189,12 @@ Worker::complete(Task *task)
 void
 Worker::abandon_remaining()
 {
+    // Clear busy_ so a second sweep only sees what arrived since — the
+    // tasks' coroutines are suspended mid-job and are never resumed
+    // again; tasks_ still owns them for destruction.
     uint64_t abandoned = static_cast<uint64_t>(busy_.size());
+    busy_count_.fetch_sub(busy_.size(), std::memory_order_relaxed);
+    busy_.clear();
     while (dispatch_ring_.pop())
         ++abandoned;
     if (abandoned != 0)
@@ -198,6 +206,7 @@ Worker::run()
 {
     int empty_polls = 0;
     for (;;) {
+        TQ_FAULT_SITE(WorkerPoll);
         const Lifecycle phase = lc_->phase();
         if (phase >= Lifecycle::Stopping)
             break;

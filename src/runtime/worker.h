@@ -103,6 +103,16 @@ class Worker
      */
     void run();
 
+    /**
+     * Count still-admitted tasks and dispatch-ring leftovers as
+     * abandoned. Idempotent. run() calls it on exit, and the runtime
+     * calls it once more after joining every thread: the dispatcher can
+     * push into this ring after a force-stopped worker's own final
+     * sweep, and that request must not vanish from the accounting.
+     * Safe only from the worker thread or after it has been joined.
+     */
+    void abandon_remaining();
+
     /** Worker index within the runtime. */
     int id() const { return id_; }
 
@@ -124,7 +134,6 @@ class Worker
     void run_one_slice();
     void complete(Task *task);
     bool push_response(const Response &resp);
-    void abandon_remaining();
 
     int id_;
     const RuntimeConfig cfg_;

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Fault-injection tests: stop()/drain() must terminate — within the
+ * configured deadline, with honest accounting — under every fault the
+ * injector can arm (stalled collector, frozen stages, ring-full bursts,
+ * randomized yields).
+ *
+ * The pure-logic tests (deterministic yield pattern, site names) and
+ * the stalled-collector scenario run in every build. Scenarios that
+ * need the hot-path hooks compiled in skip themselves unless the tree
+ * was configured with -DTQ_FAULT_INJECTION=ON (tq::fault::kEnabled).
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "runtime/runtime.h"
+
+namespace tq {
+namespace {
+
+using fault::FaultInjector;
+using fault::Site;
+
+runtime::Request
+make_req(uint64_t id, uint64_t payload = 0)
+{
+    runtime::Request req;
+    req.id = id;
+    req.gen_cycles = rdcycles();
+    req.payload = payload;
+    return req;
+}
+
+/** Every scenario starts and ends with a disarmed injector. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST(FaultInjectorLogic, YieldsAtIsDeterministicAndSeeded)
+{
+    constexpr uint64_t kVisits = 100'000;
+    constexpr uint64_t kEvery = 8;
+    uint64_t hits = 0;
+    for (uint64_t v = 0; v < kVisits; ++v) {
+        const bool y = FaultInjector::yields_at(42, kEvery, v);
+        // Deterministic: the same (seed, n, visit) always agrees.
+        ASSERT_EQ(y, FaultInjector::yields_at(42, kEvery, v));
+        hits += y ? 1 : 0;
+    }
+    // Roughly one visit in kEvery (generous 2x band — it is a hash,
+    // not a counter).
+    EXPECT_GT(hits, kVisits / kEvery / 2);
+    EXPECT_LT(hits, kVisits / kEvery * 2);
+
+    // Different seeds give different patterns.
+    bool differs = false;
+    for (uint64_t v = 0; v < 256 && !differs; ++v)
+        differs = FaultInjector::yields_at(1, kEvery, v) !=
+                  FaultInjector::yields_at(2, kEvery, v);
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorLogic, SiteNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (int s = 0; s < static_cast<int>(Site::kCount); ++s) {
+        const char *name = fault::site_name(static_cast<Site>(s));
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(std::string(name).empty());
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), static_cast<size_t>(Site::kCount));
+}
+
+// A collector that never drains the TX rings must not wedge shutdown:
+// stop() returns within its deadline and every accepted job is either
+// delivered, dropped (counted), or abandoned (counted). Runs in every
+// build — the fault here is the test simply not collecting.
+TEST_F(FaultTest, StalledCollectorStopTerminates)
+{
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.ring_capacity = 8;
+    cfg.work = runtime::WorkPolicy::Fcfs;
+    cfg.stop_deadline_sec = 0.3;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload;
+    });
+    rt.start();
+
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < 64; ++i) {
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+            if (rt.submit(make_req(i))) {
+                ++accepted;
+                break;
+            }
+            std::this_thread::yield();
+        }
+    }
+    ASSERT_GT(accepted, 8u);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    rt.stop();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(elapsed, 30.0); // far above the deadline; "returns at all"
+    EXPECT_EQ(rt.lifecycle(), runtime::Lifecycle::Stopped);
+
+    std::vector<runtime::Response> leftovers;
+    rt.drain_responses(leftovers);
+    EXPECT_EQ(leftovers.size() + rt.dropped_responses() +
+                  rt.abandoned_jobs(),
+              accepted);
+}
+
+// A frozen worker models a thread the OS stopped scheduling: drain()
+// must escalate at the deadline, release the freeze, and join.
+TEST_F(FaultTest, FrozenWorkerStopWithinDeadline)
+{
+    if (!fault::kEnabled)
+        GTEST_SKIP() << "hook sites compiled out (TQ_FAULT_INJECTION=OFF)";
+
+    FaultInjector::instance().freeze(Site::WorkerPoll);
+
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.work = runtime::WorkPolicy::Fcfs;
+    cfg.stop_deadline_sec = 0.3;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload;
+    });
+    rt.start();
+    for (uint64_t i = 0; i < 16; ++i)
+        rt.submit(make_req(i));
+    // Give the dispatcher a moment to forward into the frozen worker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool clean = rt.drain(0.3);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(elapsed, 30.0);
+    EXPECT_EQ(rt.lifecycle(), runtime::Lifecycle::Stopped);
+    // The worker never ran a job: drain cannot have been clean, and the
+    // forwarded jobs must show up as abandoned rather than vanish.
+    EXPECT_FALSE(clean);
+    EXPECT_GT(rt.abandoned_jobs(), 0u);
+    EXPECT_GT(FaultInjector::instance().visits(Site::WorkerPoll), 0u);
+}
+
+// A frozen dispatcher: nothing is ever forwarded. drain() escalates,
+// the dispatcher wakes into the force-stop phase, and the queued
+// requests are counted abandoned.
+TEST_F(FaultTest, FrozenDispatcherCountsQueuedAsAbandoned)
+{
+    if (!fault::kEnabled)
+        GTEST_SKIP() << "hook sites compiled out (TQ_FAULT_INJECTION=OFF)";
+
+    FaultInjector::instance().freeze(Site::DispatcherPoll);
+
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.work = runtime::WorkPolicy::Fcfs;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload;
+    });
+    rt.start();
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < 32; ++i)
+        accepted += rt.submit(make_req(i)) ? 1 : 0;
+    ASSERT_GT(accepted, 0u);
+
+    EXPECT_FALSE(rt.drain(0.2));
+    EXPECT_EQ(rt.lifecycle(), runtime::Lifecycle::Stopped);
+    EXPECT_EQ(rt.abandoned_jobs(), accepted);
+    std::vector<runtime::Response> none;
+    EXPECT_EQ(rt.drain_responses(none), 0u);
+}
+
+// A stalled (slow, but not dead) worker: drain with a roomy deadline
+// still completes every queued job before joining.
+TEST_F(FaultTest, StalledWorkerDrainStillCompletes)
+{
+    if (!fault::kEnabled)
+        GTEST_SKIP() << "hook sites compiled out (TQ_FAULT_INJECTION=OFF)";
+
+    FaultInjector::instance().stall(Site::WorkerSlice, 200.0); // 200us/job
+
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.work = runtime::WorkPolicy::Fcfs;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload + 1;
+    });
+    rt.start();
+    constexpr uint64_t kJobs = 32;
+    for (uint64_t i = 0; i < kJobs; ++i)
+        ASSERT_TRUE(rt.submit(make_req(i, i)));
+
+    EXPECT_TRUE(rt.drain(30.0));
+    std::vector<runtime::Response> responses;
+    rt.drain_responses(responses);
+    EXPECT_EQ(responses.size(), kJobs);
+    EXPECT_EQ(rt.abandoned_jobs(), 0u);
+    EXPECT_EQ(rt.dropped_responses(), 0u);
+    EXPECT_GT(FaultInjector::instance().visits(Site::WorkerSlice), 0u);
+}
+
+// Ring-full burst: a heavy per-completion stall backs up the tiny TX
+// ring while the dispatcher keeps pushing. With a spin limit armed the
+// overflow becomes counted drops, never an unbounded block.
+TEST_F(FaultTest, RingFullBurstDropsAreBoundedAndCounted)
+{
+    if (!fault::kEnabled)
+        GTEST_SKIP() << "hook sites compiled out (TQ_FAULT_INJECTION=OFF)";
+
+    FaultInjector::instance().stall(Site::WorkerComplete, 100.0);
+
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.ring_capacity = 4;
+    cfg.push_spin_limit = 64;
+    cfg.work = runtime::WorkPolicy::Fcfs;
+    cfg.stop_deadline_sec = 0.5;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload;
+    });
+    rt.start();
+
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < 64; ++i) {
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+            if (rt.submit(make_req(i))) {
+                ++accepted;
+                break;
+            }
+            std::this_thread::yield();
+        }
+    }
+    ASSERT_GT(accepted, 4u);
+    rt.stop();
+    EXPECT_EQ(rt.lifecycle(), runtime::Lifecycle::Stopped);
+
+    std::vector<runtime::Response> leftovers;
+    rt.drain_responses(leftovers);
+    EXPECT_EQ(leftovers.size() + rt.dropped_responses() +
+                  rt.abandoned_jobs(),
+              accepted);
+}
+
+// Seeded chaos everywhere: deterministic yields at every site shake
+// thread interleavings, yet a collected run still round-trips every
+// job and drains clean.
+TEST_F(FaultTest, RandomYieldChaosRoundTrips)
+{
+    if (!fault::kEnabled)
+        GTEST_SKIP() << "hook sites compiled out (TQ_FAULT_INJECTION=OFF)";
+
+    auto &inj = FaultInjector::instance();
+    inj.seed(1234);
+    for (int s = 0; s < static_cast<int>(Site::kCount); ++s)
+        inj.yield_every(static_cast<Site>(s), 4);
+
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.work = runtime::WorkPolicy::Fcfs;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload * 3;
+    });
+    rt.start();
+
+    constexpr uint64_t kJobs = 200;
+    std::vector<runtime::Response> responses;
+    uint64_t submitted = 0;
+    while (submitted < kJobs || responses.size() < kJobs) {
+        if (submitted < kJobs && rt.submit(make_req(submitted, submitted)))
+            ++submitted;
+        rt.drain_responses(responses);
+    }
+    EXPECT_TRUE(rt.drain(30.0));
+    rt.drain_responses(responses);
+    EXPECT_EQ(responses.size(), kJobs);
+    for (const auto &r : responses)
+        EXPECT_EQ(r.result, r.id * 3);
+    EXPECT_EQ(rt.abandoned_jobs(), 0u);
+    EXPECT_EQ(rt.dropped_responses(), 0u);
+    EXPECT_GT(inj.visits(Site::DispatcherPoll), 0u);
+    EXPECT_GT(inj.visits(Site::WorkerPoll), 0u);
+}
+
+} // namespace
+} // namespace tq
