@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/cycles.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 
 namespace tq::net {
 
@@ -41,6 +42,7 @@ run_open_loop(Server &server, const ServiceDist &dist,
     uint64_t next_id = 0;
 
     auto collect = [&] {
+        TQ_FAULT_SITE(LoadgenCollect);
         responses.clear();
         server.drain(responses);
         for (const auto &r : responses) {
@@ -68,6 +70,7 @@ run_open_loop(Server &server, const ServiceDist &dist,
             runtime::Request req = factory(s, next_id);
             req.id = next_id++;
             req.gen_cycles = next_send;
+            TQ_FAULT_SITE(LoadgenSend);
             if (server.submit(req))
                 ++stats.submitted;
             else
@@ -76,6 +79,10 @@ run_open_loop(Server &server, const ServiceDist &dist,
         }
         collect();
     }
+    // The achieved rate is completions per *generation-window* time:
+    // measuring over generation + drain would deflate the rate by
+    // however long the tail straggled (up to drain_timeout_sec).
+    const Cycles gen_end = rdcycles();
 
     // Drain stragglers.
     const Cycles drain_end =
@@ -96,11 +103,13 @@ run_open_loop(Server &server, const ServiceDist &dist,
     }
 #endif
 
-    const double elapsed_ns = cycles_to_ns(rdcycles() - start);
+    const double gen_elapsed_ns = cycles_to_ns(gen_end - start);
+    stats.gen_elapsed_sec = gen_elapsed_ns / 1e9;
+    stats.timed_out = stats.submitted - stats.completed;
     stats.achieved_mrps =
-        elapsed_ns > 0 ? static_cast<double>(stats.completed) * 1e3 /
-                             elapsed_ns
-                       : 0;
+        gen_elapsed_ns > 0 ? static_cast<double>(stats.completed) * 1e3 /
+                                 gen_elapsed_ns
+                           : 0;
     for (size_t c = 0; c < names.size(); ++c) {
         ClientClassStats cs;
         cs.name = names[c];

@@ -67,7 +67,17 @@ struct ClientStats
     uint64_t submitted = 0;
     uint64_t completed = 0;
     uint64_t send_failures = 0; ///< RX queue full events
+    /** Submitted but never collected before the drain timeout. */
+    uint64_t timed_out = 0;
+
+    /**
+     * Completions per generation-window millisecond. The window is the
+     * configured duration only — the straggler-drain phase after it is
+     * excluded, so a slow drain no longer deflates the reported rate.
+     */
     double achieved_mrps = 0;
+    /** Measured generation-window length (excludes the drain phase). */
+    double gen_elapsed_sec = 0;
     std::vector<ClientClassStats> classes;
 
     const ClientClassStats &by_class(const std::string &name) const;

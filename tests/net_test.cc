@@ -77,6 +77,48 @@ TEST(LoadGen, SubmitsApproximatelyRateTimesDuration)
     EXPECT_GT(stats.achieved_mrps, 0.03);
 }
 
+// Regression: the achieved rate is measured over the generation window
+// only. A server whose responses all land after the window forces a
+// long straggler-drain phase; folding that into the denominator used to
+// deflate achieved_mrps by ~2x in this setup.
+TEST(LoadGen, AchievedRateExcludesDrainPhase)
+{
+    EchoServer server(100e6); // every response 100ms late
+    auto dist = std::make_unique<FixedDist>(us(1), "job");
+    LoadGenConfig cfg;
+    cfg.rate_mrps = 0.02;
+    cfg.duration_sec = 0.05;
+    const ClientStats stats =
+        run_open_loop(server, *dist, spin_request_factory(), cfg);
+    EXPECT_EQ(stats.completed, stats.submitted);
+    EXPECT_EQ(stats.timed_out, 0u);
+    EXPECT_GE(stats.gen_elapsed_sec, cfg.duration_sec);
+    EXPECT_LT(stats.gen_elapsed_sec, cfg.duration_sec * 2);
+    // With the drain phase in the denominator this would be ~0.007.
+    EXPECT_GT(stats.achieved_mrps, 0.012);
+    EXPECT_NEAR(stats.achieved_mrps,
+                static_cast<double>(stats.completed) /
+                    (stats.gen_elapsed_sec * 1e6),
+                1e-9);
+}
+
+// Responses that never arrive before the drain timeout are reported as
+// timed out instead of silently shrinking `completed`.
+TEST(LoadGen, CountsTimedOutRequests)
+{
+    EchoServer server(10e9); // 10s: far beyond the drain timeout
+    auto dist = std::make_unique<FixedDist>(us(1), "job");
+    LoadGenConfig cfg;
+    cfg.rate_mrps = 0.02;
+    cfg.duration_sec = 0.05;
+    cfg.drain_timeout_sec = 0.1;
+    const ClientStats stats =
+        run_open_loop(server, *dist, spin_request_factory(), cfg);
+    EXPECT_GT(stats.submitted, 0u);
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_EQ(stats.timed_out, stats.submitted);
+}
+
 TEST(LoadGen, LatencyReflectsServerDelay)
 {
     EchoServer server(50'000.0); // 50us server-side delay
