@@ -16,6 +16,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/cycles.h"
 #include "conc/mpmc_queue.h"
 #include "conc/spsc_ring.h"
@@ -99,6 +101,62 @@ BM_MpmcQueuePushPop(benchmark::State &state)
 BENCHMARK(BM_MpmcQueuePushPop);
 
 void
+BM_RingBatchPushPop(benchmark::State &state)
+{
+    // Batched SPSC transfer: push_n/pop_n move the whole batch with one
+    // index acquire/release pair each. Per-item cost vs the scalar
+    // BM_SpscRingPushPop is the batching win; Arg is the batch size
+    // (Arg 1 prices the batch-API overhead itself).
+    const size_t k = static_cast<size_t>(state.range(0));
+    SpscRing<uint64_t> ring(1024);
+    std::vector<uint64_t> src(k), dst(k);
+    uint64_t v = 0;
+    for (size_t i = 0; i < k; ++i)
+        src[i] = v++;
+    for (auto _ : state) {
+        ring.push_n(src.data(), k);
+        benchmark::DoNotOptimize(ring.pop_n(dst.data(), k));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(k));
+}
+BENCHMARK(BM_RingBatchPushPop)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_RingPopInto(benchmark::State &state)
+{
+    // In-place scalar pop: no std::optional wrapper on the hot path.
+    SpscRing<uint64_t> ring(1024);
+    uint64_t v = 0, out = 0;
+    for (auto _ : state) {
+        ring.push(v++);
+        ring.pop_into(out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingPopInto);
+
+void
+BM_MpmcPopN(benchmark::State &state)
+{
+    // Batched MPMC dequeue: one CAS on the contended cursor per batch
+    // (the dispatcher's RX pop). Arg is the batch size.
+    const size_t k = static_cast<size_t>(state.range(0));
+    MpmcQueue<uint64_t> q(1024);
+    std::vector<uint64_t> dst(k);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < k; ++i)
+            q.push(v++);
+        benchmark::DoNotOptimize(q.pop_n(dst.data(), k));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(k));
+}
+BENCHMARK(BM_MpmcPopN)->Arg(1)->Arg(8)->Arg(32);
+
+void
 BM_JsqScan16Workers(benchmark::State &state)
 {
     // The dispatcher's per-job decision: scan 16 counter cache lines for
@@ -129,6 +187,55 @@ BM_JsqScan16Workers(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_JsqScan16Workers);
+
+void
+BM_DispatchBatchAmortized(benchmark::State &state)
+{
+    // The batched dispatcher's per-request decision (runtime.cc): the
+    // 16 shared counter lines are read once per batch into a local
+    // view; each request then scans/bumps only that local view. Arg is
+    // the batch size; Arg 1 reproduces the per-request refresh cost of
+    // the unbatched path (compare BM_JsqScan16Workers).
+    const size_t k = static_cast<size_t>(state.range(0));
+    constexpr int kWorkers = 16;
+    runtime::WorkerStatsLine lines[kWorkers];
+    runtime::WorkerStatsReader readers[kWorkers];
+    uint64_t assigned[kWorkers] = {};
+    uint64_t len_view[kWorkers] = {};
+    uint32_t quanta_view[kWorkers] = {};
+    for (int i = 0; i < kWorkers; ++i)
+        lines[i].finished.store(static_cast<uint32_t>(i * 3));
+    for (auto _ : state) {
+        // Batch boundary: one pass over the shared lines.
+        for (int i = 0; i < kWorkers; ++i) {
+            const uint64_t fin = readers[i].read_finished(lines[i]);
+            len_view[i] = assigned[i] > fin ? assigned[i] - fin : 0;
+            quanta_view[i] =
+                runtime::WorkerStatsReader::read_current_quanta(lines[i]);
+        }
+        // Per-request work: local-view JSQ+MSQ scan + incremental bump.
+        for (size_t j = 0; j < k; ++j) {
+            uint64_t best_len = ~0ULL;
+            int best = 0;
+            uint32_t best_q = 0;
+            for (int i = 0; i < kWorkers; ++i) {
+                if (len_view[i] < best_len ||
+                    (len_view[i] == best_len && quanta_view[i] > best_q)) {
+                    best_len = len_view[i];
+                    best = i;
+                    best_q = quanta_view[i];
+                }
+            }
+            benchmark::DoNotOptimize(best);
+            ++len_view[best];
+            ++assigned[best];
+            lines[best].finished.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(k));
+}
+BENCHMARK(BM_DispatchBatchAmortized)->Arg(1)->Arg(8)->Arg(32);
 
 void
 BM_PreemptGuard(benchmark::State &state)

@@ -7,80 +7,206 @@
  *
  * This bench measures the *real* cost of TQ's per-job dispatch path on
  * this machine (single-threaded: the actual instruction path, no
- * cross-core traffic) and derives the implied dispatcher capacity; it
- * then reports the simulator's modeled capacities for both designs.
+ * cross-core traffic) in both forms:
+ *
+ *  - scalar: the classic per-request path — one RX pop, one RDTSC
+ *    arrival stamp, one JSQ+MSQ scan over the shared worker counter
+ *    lines, one worker-ring push per request;
+ *  - batched: the current dispatcher_main() path — one RX pop_n per
+ *    batch, one arrival stamp and one counter-line refresh per batch,
+ *    then per-request work against the dispatcher-local view only.
+ *
+ * Requests are staged into the RX queue in untimed rounds so both modes
+ * measure dispatch work against a backlogged RX — the regime where
+ * dispatcher capacity is the binding constraint (Fig. 2/16). The output
+ * is a TSV table plot_bench.py can render, and the batched ns/job at 16
+ * workers is the calibration input for sim::Overheads::dispatch_cost
+ * (recorded in BENCH_dispatch.json).
  */
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/cycles.h"
+#include "conc/mpmc_queue.h"
 #include "conc/spsc_ring.h"
 #include "runtime/request.h"
 #include "runtime/worker_stats.h"
 
 using namespace tq;
 
+namespace {
+
+constexpr int kIters = 2'000'000;
+constexpr int kRound = 8192;      // staged per untimed refill
+constexpr size_t kBatch = 32;     // RuntimeConfig::dispatch_batch default
+
+struct Cluster
+{
+    explicit Cluster(int workers)
+        : rx(kRound * 2), lines(static_cast<size_t>(workers)),
+          readers(static_cast<size_t>(workers)),
+          assigned(static_cast<size_t>(workers), 0)
+    {
+        for (int w = 0; w < workers; ++w)
+            rings.push_back(
+                std::make_unique<SpscRing<runtime::Request>>(256));
+    }
+
+    MpmcQueue<runtime::Request> rx;
+    std::vector<std::unique_ptr<SpscRing<runtime::Request>>> rings;
+    std::vector<runtime::WorkerStatsLine> lines;
+    std::vector<runtime::WorkerStatsReader> readers;
+    std::vector<uint64_t> assigned;
+};
+
+void
+stage(Cluster &c, int count, uint64_t base_id)
+{
+    runtime::Request req;
+    for (int i = 0; i < count; ++i) {
+        req.id = base_id + static_cast<uint64_t>(i);
+        c.rx.push(req);
+    }
+}
+
+/** Forward to @p best: ring push, drained in place (consumer cost runs
+ *  on worker cores in deployment), assignment + finish bookkeeping to
+ *  keep the emulated JSQ views bounded. */
+inline void
+forward(Cluster &c, int best, runtime::Request &req,
+        runtime::Request &scratch)
+{
+    c.rings[static_cast<size_t>(best)]->push(req);
+    (void)c.rings[static_cast<size_t>(best)]->pop_into(scratch);
+    ++c.assigned[static_cast<size_t>(best)];
+    c.lines[static_cast<size_t>(best)].finished.fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+double
+scalar_ns_per_job(int workers)
+{
+    Cluster c(workers);
+    runtime::Request scratch;
+    Cycles timed = 0;
+    int done = 0;
+    while (done < kIters) {
+        const int round = std::min(kRound, kIters - done);
+        stage(c, round, static_cast<uint64_t>(done));
+        const Cycles t0 = rdcycles();
+        for (int i = 0; i < round; ++i) {
+            auto req = c.rx.pop();
+            req->arrival_cycles = rdcycles();
+            // Per-request JSQ + MSQ scan over the shared counter lines.
+            uint64_t best_len = ~0ULL;
+            int best = 0;
+            uint32_t best_q = 0;
+            for (int w = 0; w < workers; ++w) {
+                const size_t i_w = static_cast<size_t>(w);
+                const uint64_t fin =
+                    c.readers[i_w].read_finished(c.lines[i_w]);
+                const uint64_t len =
+                    c.assigned[i_w] > fin ? c.assigned[i_w] - fin : 0;
+                const uint32_t q =
+                    runtime::WorkerStatsReader::read_current_quanta(
+                        c.lines[i_w]);
+                if (len < best_len || (len == best_len && q > best_q)) {
+                    best_len = len;
+                    best = w;
+                    best_q = q;
+                }
+            }
+            forward(c, best, *req, scratch);
+        }
+        timed += rdcycles() - t0;
+        done += round;
+    }
+    return cycles_to_ns(timed) / kIters;
+}
+
+double
+batched_ns_per_job(int workers)
+{
+    Cluster c(workers);
+    std::vector<uint64_t> len_view(static_cast<size_t>(workers), 0);
+    std::vector<uint32_t> quanta_view(static_cast<size_t>(workers), 0);
+    runtime::Request batch[kBatch];
+    runtime::Request scratch;
+    Cycles timed = 0;
+    int done = 0;
+    while (done < kIters) {
+        const int round = std::min(kRound, kIters - done);
+        stage(c, round, static_cast<uint64_t>(done));
+        const Cycles t0 = rdcycles();
+        int off = 0;
+        while (off < round) {
+            const size_t n = c.rx.pop_n(batch, kBatch);
+            const Cycles arrived = rdcycles();
+            // Batch boundary: one pass over the shared counter lines.
+            for (int w = 0; w < workers; ++w) {
+                const size_t i_w = static_cast<size_t>(w);
+                const uint64_t fin =
+                    c.readers[i_w].read_finished(c.lines[i_w]);
+                len_view[i_w] =
+                    c.assigned[i_w] > fin ? c.assigned[i_w] - fin : 0;
+                quanta_view[i_w] =
+                    runtime::WorkerStatsReader::read_current_quanta(
+                        c.lines[i_w]);
+            }
+            // Per-request work: local view only.
+            for (size_t j = 0; j < n; ++j) {
+                batch[j].arrival_cycles = arrived;
+                uint64_t best_len = ~0ULL;
+                int best = 0;
+                uint32_t best_q = 0;
+                for (int w = 0; w < workers; ++w) {
+                    const size_t i_w = static_cast<size_t>(w);
+                    if (len_view[i_w] < best_len ||
+                        (len_view[i_w] == best_len &&
+                         quanta_view[i_w] > best_q)) {
+                        best_len = len_view[i_w];
+                        best = w;
+                        best_q = quanta_view[i_w];
+                    }
+                }
+                ++len_view[static_cast<size_t>(best)];
+                forward(c, best, batch[j], scratch);
+            }
+            off += static_cast<int>(n);
+        }
+        timed += rdcycles() - t0;
+        done += round;
+    }
+    return cycles_to_ns(timed) / kIters;
+}
+
+} // namespace
+
 int
 main()
 {
-    bench::banner("Section 6", "dispatcher per-job cost and implied Mrps");
-
-    constexpr int kWorkers = 16;
-    constexpr int kIters = 2'000'000;
-    SpscRing<runtime::Request> rx(4096);
-    std::vector<std::unique_ptr<SpscRing<runtime::Request>>> worker_rings;
-    for (int w = 0; w < kWorkers; ++w)
-        worker_rings.push_back(
-            std::make_unique<SpscRing<runtime::Request>>(256));
-    std::vector<runtime::WorkerStatsLine> lines(kWorkers);
-    std::vector<runtime::WorkerStatsReader> readers(kWorkers);
-    uint64_t assigned[kWorkers] = {};
+    bench::banner("Section 6",
+                  "dispatcher per-job cost, scalar vs batched hot path "
+                  "(batch=32, backlogged RX), and implied Mrps");
 
     // Warm the clock calibration before timing.
     cycles_per_ns();
 
-    const Cycles t0 = rdcycles();
-    runtime::Request req;
-    for (int i = 0; i < kIters; ++i) {
-        // RX pop (empty ring: the pop cost is still paid) + stamp.
-        (void)rx.pop();
-        req.id = static_cast<uint64_t>(i);
-        req.arrival_cycles = rdcycles();
-        // JSQ + MSQ scan over the 16 worker counter lines.
-        uint64_t best_len = ~0ULL;
-        int best = 0;
-        uint32_t best_q = 0;
-        for (int w = 0; w < kWorkers; ++w) {
-            const uint64_t len =
-                assigned[w] -
-                readers[static_cast<size_t>(w)].read_finished(
-                    lines[static_cast<size_t>(w)]);
-            const uint32_t q =
-                runtime::WorkerStatsReader::read_current_quanta(
-                    lines[static_cast<size_t>(w)]);
-            if (len < best_len || (len == best_len && q > best_q)) {
-                best_len = len;
-                best = w;
-                best_q = q;
-            }
-        }
-        // Forward into the worker ring; drain it in place so the ring
-        // never fills (consumer cost runs on worker cores in deployment).
-        worker_rings[static_cast<size_t>(best)]->push(req);
-        (void)worker_rings[static_cast<size_t>(best)]->pop();
-        ++assigned[best];
-        // Emulate the worker finishing to keep JSQ views bounded.
-        lines[static_cast<size_t>(best)].finished.fetch_add(
-            1, std::memory_order_relaxed);
+    std::printf("workers\tscalar_ns\tbatched_ns\tscalar_mrps\t"
+                "batched_mrps\tspeedup\n");
+    for (int workers : {4, 8, 16}) {
+        const double s = scalar_ns_per_job(workers);
+        const double b = batched_ns_per_job(workers);
+        std::printf("%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.2fx\n", workers, s, b,
+                    1e3 / s, 1e3 / b, s / b);
+        std::fflush(stdout);
     }
-    const double elapsed_ns = cycles_to_ns(rdcycles() - t0);
-    const double per_job_ns = elapsed_ns / kIters;
-    std::printf("TQ dispatch path: %.1f ns/job => %.1f Mrps implied "
-                "(paper reports ~14 Mrps; >> centralized ~5 Mrps)\n",
-                per_job_ns, 1e3 / per_job_ns);
-    std::printf("sim model: TQ dispatch_cost=70ns (14.3 Mrps), centralized "
-                "sched_op_cost=210ns (~4.8 Mops)\n");
+    std::printf("# paper reports ~14 Mrps for TQ's dispatcher, >> the\n"
+                "# centralized ~5 Mrps; sim::Overheads::dispatch_cost is\n"
+                "# calibrated from the batched 16-worker ns/job above\n"
+                "# (see BENCH_dispatch.json for the recorded run).\n");
     return 0;
 }

@@ -94,6 +94,54 @@ class MpmcQueue
         }
     }
 
+    /**
+     * Dequeue up to @p max_n elements into @p dst with one successful
+     * CAS for the whole batch. Thread-safe against concurrent producers
+     * and consumers.
+     *
+     * The claimable prefix is the run of cells already published by
+     * their producers (cells are claimed in order but may be published
+     * out of order, so the run can be shorter than size()); a single
+     * compare-exchange on the dequeue cursor then claims the entire
+     * prefix, amortizing the contended RMW across the batch.
+     *
+     * @return number of elements dequeued (0 when empty), FIFO order.
+     */
+    size_t
+    pop_n(T *dst, size_t max_n)
+    {
+        for (;;) {
+            size_t pos = dequeue_pos_.value.load(std::memory_order_relaxed);
+            size_t ready = 0;
+            while (ready < max_n) {
+                const Cell &cell = cells_[(pos + ready) & mask_];
+                const size_t seq =
+                    cell.sequence.load(std::memory_order_acquire);
+                if (static_cast<intptr_t>(seq) !=
+                    static_cast<intptr_t>(pos + ready + 1))
+                    break;
+                ++ready;
+            }
+            if (ready == 0) {
+                // Empty, or the head cell is mid-publish; match pop()'s
+                // non-blocking contract and report nothing available.
+                return 0;
+            }
+            if (!dequeue_pos_.value.compare_exchange_weak(
+                    pos, pos + ready, std::memory_order_relaxed))
+                continue; // another consumer moved the cursor; re-scan
+            // Cells [pos, pos+ready) are exclusively ours: consume and
+            // recycle each one for the producer a lap ahead.
+            for (size_t i = 0; i < ready; ++i) {
+                Cell &cell = cells_[(pos + i) & mask_];
+                dst[i] = std::move(cell.value);
+                cell.sequence.store(pos + i + mask_ + 1,
+                                    std::memory_order_release);
+            }
+            return ready;
+        }
+    }
+
     /** Approximate occupancy (racy; for stats and tests only). */
     size_t
     size() const

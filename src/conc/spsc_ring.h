@@ -6,7 +6,9 @@
  * request to the least-loaded worker, and that each worker uses for its
  * private TX queue (paper section 4). It is a classic Lamport queue with
  * cached remote indices so the hot path touches only one shared cache
- * line per operation amortized.
+ * line per operation amortized. The batch APIs (push_n/pop_n) move up to
+ * k items per index acquire/release pair, dividing that remaining shared
+ * traffic by the batch size (DESIGN.md "Batched hot path").
  */
 #ifndef TQ_CONC_SPSC_RING_H
 #define TQ_CONC_SPSC_RING_H
@@ -67,6 +69,33 @@ class SpscRing
     }
 
     /**
+     * Enqueue up to @p n values from @p src. Producer-side only.
+     *
+     * One acquire of the consumer index and one release of the producer
+     * index cover the whole batch, so the per-item cost of the shared
+     * cache-line traffic is amortized by the batch size.
+     *
+     * @return number of values actually enqueued (0 when full); the
+     *     first @c return values of @p src are moved from.
+     */
+    size_t
+    push_n(T *src, size_t n)
+    {
+        const size_t head = head_.value.load(std::memory_order_relaxed);
+        size_t free = mask_ + 1 - (head - cached_tail_);
+        if (free < n) {
+            cached_tail_ = tail_.value.load(std::memory_order_acquire);
+            free = mask_ + 1 - (head - cached_tail_);
+        }
+        const size_t count = n < free ? n : free;
+        for (size_t i = 0; i < count; ++i)
+            slots_[(head + i) & mask_] = std::move(src[i]);
+        if (count > 0)
+            head_.value.store(head + count, std::memory_order_release);
+        return count;
+    }
+
+    /**
      * Dequeue the oldest element. Consumer-side only.
      * @return std::nullopt if the ring is empty.
      */
@@ -82,6 +111,51 @@ class SpscRing
         T value = std::move(slots_[tail & mask_]);
         tail_.value.store(tail + 1, std::memory_order_release);
         return value;
+    }
+
+    /**
+     * Dequeue the oldest element into @p out without the
+     * std::optional<T> wrapper (no extra move/copy of T on the miss
+     * path, no engaged-flag branch for the caller). Consumer-side only.
+     * @return false when the ring is empty (@p out untouched).
+     */
+    bool
+    pop_into(T &out)
+    {
+        const size_t tail = tail_.value.load(std::memory_order_relaxed);
+        if (tail == cached_head_) {
+            cached_head_ = head_.value.load(std::memory_order_acquire);
+            if (tail == cached_head_)
+                return false;
+        }
+        out = std::move(slots_[tail & mask_]);
+        tail_.value.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue up to @p max_n elements into @p dst. Consumer-side only.
+     *
+     * Mirrors push_n(): one acquire of the producer index and one
+     * release of the consumer index per batch.
+     *
+     * @return number of elements dequeued (0 when empty), FIFO order.
+     */
+    size_t
+    pop_n(T *dst, size_t max_n)
+    {
+        const size_t tail = tail_.value.load(std::memory_order_relaxed);
+        size_t avail = cached_head_ - tail;
+        if (avail < max_n) {
+            cached_head_ = head_.value.load(std::memory_order_acquire);
+            avail = cached_head_ - tail;
+        }
+        const size_t count = max_n < avail ? max_n : avail;
+        for (size_t i = 0; i < count; ++i)
+            dst[i] = std::move(slots_[(tail + i) & mask_]);
+        if (count > 0)
+            tail_.value.store(tail + count, std::memory_order_release);
+        return count;
     }
 
     /** Approximate occupancy; exact only when called by one of the ends. */

@@ -41,8 +41,16 @@ run_open_loop(Server &server, const ServiceDist &dist,
         start + ns_to_cycles(rng.exponential(mean_gap_ns));
     uint64_t next_id = 0;
 
+#if defined(TQ_TELEMETRY_ENABLED)
+    telemetry::CycleHistogram *const sojourn_hist =
+        cfg.metrics != nullptr ? &cfg.metrics->client().sojourn_cycles
+                               : nullptr;
+#endif
     auto collect = [&] {
         TQ_FAULT_SITE(LoadgenCollect);
+        // The server drains each worker TX ring with batched pop_n
+        // (one shared-index round trip per ring per burst), so the
+        // whole backlog lands here in one call.
         responses.clear();
         server.drain(responses);
         for (const auto &r : responses) {
@@ -52,9 +60,8 @@ run_open_loop(Server &server, const ServiceDist &dist,
             ++counts[c];
             ++stats.completed;
 #if defined(TQ_TELEMETRY_ENABLED)
-            if (cfg.metrics != nullptr)
-                cfg.metrics->client().sojourn_cycles.add(
-                    r.done_cycles - r.arrival_cycles);
+            if (sojourn_hist != nullptr)
+                sojourn_hist->add(r.done_cycles - r.arrival_cycles);
 #endif
         }
     };

@@ -61,6 +61,19 @@ struct RuntimeConfig
      */
     size_t push_spin_limit = 0;
 
+    /**
+     * Dispatcher RX batch size: the dispatcher pops up to this many
+     * requests per poll and refreshes its JSQ view of the workers'
+     * counter lines once per batch instead of once per request, so the
+     * per-request dispatch work inside a batch touches only
+     * dispatcher-local state (DESIGN.md "Batched hot path"). 1 restores
+     * per-request refresh exactly. Under light load batches are mostly
+     * size 1 and behaviour is identical to the unbatched path; the
+     * amortization engages precisely when the dispatcher is the
+     * bottleneck and the RX queue has depth.
+     */
+    size_t dispatch_batch = 32;
+
     /** Per-thread trace-ring capacity in events (telemetry builds).
      *  Overflow drops events and counts them; it never blocks a worker
      *  (see OBSERVABILITY.md). */

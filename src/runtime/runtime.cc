@@ -1,5 +1,7 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/cycles.h"
 #include "fault/fault.h"
@@ -17,10 +19,13 @@ Runtime::Runtime(RuntimeConfig cfg, Handler handler)
           static_cast<size_t>(cfg.num_workers))),
       readers_(static_cast<size_t>(cfg.num_workers)),
       finished_view_(static_cast<size_t>(cfg.num_workers), 0),
+      len_view_(static_cast<size_t>(cfg.num_workers), 0),
+      quanta_view_(static_cast<size_t>(cfg.num_workers), 0),
       query_readers_(static_cast<size_t>(cfg.num_workers)),
       snapshot_readers_(static_cast<size_t>(cfg.num_workers))
 {
     TQ_CHECK(cfg_.num_workers > 0);
+    TQ_CHECK(cfg_.dispatch_batch >= 1);
     for (int w = 0; w < cfg_.num_workers; ++w)
         workers_.push_back(std::make_unique<Worker>(
             w, cfg_, handler, &metrics_->worker(w), &lc_));
@@ -117,14 +122,30 @@ Runtime::submit(const Request &req)
 size_t
 Runtime::drain_responses(std::vector<Response> &out)
 {
-    size_t n = 0;
+    // Probe occupancy first so one reserve covers the burst: under a
+    // drain storm the collector used to reallocate log2(n) times while
+    // popping one response at a time. The probe is racy-low (workers
+    // keep pushing), so pop_n keeps collecting past it until a ring
+    // reads empty.
+    size_t expected = out.size();
+    for (const auto &w : workers_)
+        expected += w->tx_ring().size();
+    out.reserve(expected);
+
+    const size_t before = out.size();
     for (auto &w : workers_) {
-        while (auto resp = w->tx_ring().pop()) {
-            out.push_back(*resp);
-            ++n;
+        auto &ring = w->tx_ring();
+        for (;;) {
+            const size_t old = out.size();
+            const size_t want = std::max<size_t>(ring.size(), 1);
+            out.resize(old + want);
+            const size_t got = ring.pop_n(&out[old], want);
+            out.resize(old + got);
+            if (got < want)
+                break; // ring drained (or a partial final batch)
         }
     }
-    return n;
+    return out.size() - before;
 }
 
 uint64_t
@@ -189,58 +210,80 @@ Runtime::pick_worker()
             finished_view_[static_cast<size_t>(i)] =
                 readers_[static_cast<size_t>(i)].read_finished(
                     workers_[static_cast<size_t>(i)]->stats_line());
-            return assigned_[static_cast<size_t>(i)].load(
-                       std::memory_order_relaxed) -
-                   finished_view_[static_cast<size_t>(i)];
+            const uint64_t asn = assigned_[static_cast<size_t>(i)].load(
+                std::memory_order_relaxed);
+            const uint64_t fin = finished_view_[static_cast<size_t>(i)];
+            // assigned_ is bumped *after* the ring push, so a fast
+            // worker can transiently put finished ahead of assigned;
+            // clamp so it is not mis-ranked as infinitely loaded.
+            return asn > fin ? asn - fin : 0;
         };
         return len(a) <= len(b) ? a : b;
       }
       case DispatchPolicy::JsqRandom:
-      case DispatchPolicy::JsqMsq: {
-        // Refresh the JSQ view from the workers' counter lines: queue
-        // length = assigned - finished (delta-tracked across wraps).
-        uint64_t best_len = ~0ULL;
-        for (int i = 0; i < n; ++i) {
-            finished_view_[static_cast<size_t>(i)] =
-                readers_[static_cast<size_t>(i)].read_finished(
-                    workers_[static_cast<size_t>(i)]->stats_line());
-            const uint64_t len =
-                assigned_[static_cast<size_t>(i)].load(
-                    std::memory_order_relaxed) -
-                finished_view_[static_cast<size_t>(i)];
-            best_len = std::min(best_len, len);
-        }
-        int best = -1;
-        uint32_t best_quanta = 0;
-        uint64_t tie_count = 0;
-        for (int i = 0; i < n; ++i) {
-            const uint64_t len =
-                assigned_[static_cast<size_t>(i)].load(
-                    std::memory_order_relaxed) -
-                finished_view_[static_cast<size_t>(i)];
-            if (len != best_len)
-                continue;
-            if (cfg_.dispatch == DispatchPolicy::JsqRandom) {
-                // Reservoir-style uniform choice among ties.
-                if (rng_.below(++tie_count) == 0)
-                    best = i;
-            } else {
-                // MSQ: the tied worker whose current jobs have received
-                // the most quanta should finish them soonest (s. 3.2).
-                const uint32_t q = WorkerStatsReader::read_current_quanta(
-                    workers_[static_cast<size_t>(i)]->stats_line());
-                if (best < 0 || q > best_quanta) {
-                    best = i;
-                    best_quanta = q;
-                }
-            }
-        }
-        TQ_CHECK(best >= 0);
-        return best;
-      }
+      case DispatchPolicy::JsqMsq:
+        refresh_dispatch_views();
+        return pick_worker_from_view();
     }
     TQ_CHECK(false);
     return 0;
+}
+
+void
+Runtime::refresh_dispatch_views()
+{
+    // Refresh the JSQ view from the workers' counter lines: queue
+    // length = assigned - finished (delta-tracked across wraps, clamped
+    // at 0 against the transient finished>assigned race noted above).
+    // This is the only place the dispatcher touches shared cache lines
+    // for load balancing; everything downstream works on len_view_ /
+    // quanta_view_ until the next batch boundary.
+    const size_t n = static_cast<size_t>(cfg_.num_workers);
+    for (size_t i = 0; i < n; ++i) {
+        finished_view_[i] =
+            readers_[i].read_finished(workers_[i]->stats_line());
+        const uint64_t asn = assigned_[i].load(std::memory_order_relaxed);
+        len_view_[i] = asn > finished_view_[i] ? asn - finished_view_[i] : 0;
+        if (cfg_.dispatch == DispatchPolicy::JsqMsq)
+            quanta_view_[i] = WorkerStatsReader::read_current_quanta(
+                workers_[i]->stats_line());
+    }
+}
+
+int
+Runtime::pick_worker_from_view()
+{
+    // JSQ over the local view, with the policy's tie-break. With a
+    // batch size of 1 (a refresh before every call) this is exactly the
+    // unbatched policy; inside a batch, ties use the boundary snapshot
+    // of current_quanta and queue lengths grow with each assignment.
+    const size_t n = static_cast<size_t>(cfg_.num_workers);
+    uint64_t best_len = ~0ULL;
+    for (size_t i = 0; i < n; ++i)
+        best_len = std::min(best_len, len_view_[i]);
+    int best = -1;
+    uint32_t best_quanta = 0;
+    uint64_t tie_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (len_view_[i] != best_len)
+            continue;
+        if (cfg_.dispatch == DispatchPolicy::JsqRandom) {
+            // Reservoir-style uniform choice among ties.
+            if (rng_.below(++tie_count) == 0)
+                best = static_cast<int>(i);
+        } else {
+            // MSQ: the tied worker whose current jobs have received
+            // the most quanta should finish them soonest (s. 3.2).
+            const uint32_t q = quanta_view_[i];
+            if (best < 0 || q > best_quanta) {
+                best = static_cast<int>(i);
+                best_quanta = q;
+            }
+        }
+    }
+    TQ_CHECK(best >= 0);
+    len_view_[static_cast<size_t>(best)] += 1;
+    return best;
 }
 
 telemetry::MetricsSnapshot
@@ -295,14 +338,23 @@ Runtime::push_request(int target, const Request &req)
 void
 Runtime::dispatcher_main()
 {
+    // RX is popped in batches: one batch dequeue (one contended RMW on
+    // the MPMC cursor), one JSQ view refresh (one pass over the shared
+    // counter lines), then per-request work against local state only.
+    // Under light load batches degenerate to size 1 and the path is the
+    // classic per-request one; under pressure the shared-line traffic
+    // is divided by the batch occupancy (DESIGN.md "Batched hot path").
+    const bool jsq_policy = cfg_.dispatch == DispatchPolicy::JsqMsq ||
+                            cfg_.dispatch == DispatchPolicy::JsqRandom;
+    std::vector<Request> batch(cfg_.dispatch_batch);
     int empty_polls = 0;
     for (;;) {
         TQ_FAULT_SITE(DispatcherPoll);
         const Lifecycle phase = lc_.phase();
         if (phase >= Lifecycle::Stopping)
             break;
-        auto req = rx_.pop();
-        if (!req) {
+        const size_t n = rx_.pop_n(batch.data(), batch.size());
+        if (n == 0) {
             if (phase == Lifecycle::Draining)
                 break; // everything queued has been forwarded
             if (++empty_polls >= 8) {
@@ -314,25 +366,39 @@ Runtime::dispatcher_main()
             continue;
         }
         empty_polls = 0;
-        req->arrival_cycles = rdcycles();
-        const int target = pick_worker();
+        // One arrival stamp covers the batch: the requests were all in
+        // RX when the batch was claimed, and per-request RDTSC is
+        // exactly the kind of per-job cost batching amortizes away.
+        const Cycles arrived_at = rdcycles();
+        if (jsq_policy)
+            refresh_dispatch_views();
+        for (size_t i = 0; i < n; ++i) {
+            Request &req = batch[i];
+            req.arrival_cycles = arrived_at;
+            const int target =
+                jsq_policy ? pick_worker_from_view() : pick_worker();
 #if defined(TQ_TELEMETRY_ENABLED)
-        // Stamp the handoff *before* the push: once the request is in
-        // the ring the worker may already be reading it.
-        const Cycles dispatched_at = rdcycles();
-        req->dispatch_cycles = dispatched_at;
+            // Stamp the handoff *before* the push: once the request is
+            // in the ring the worker may already be reading it.
+            const Cycles dispatched_at = rdcycles();
+            req.dispatch_cycles = dispatched_at;
 #endif
-        if (!push_request(target, *req))
-            continue; // dropped (counted); the loop re-checks the phase
-        assigned_[static_cast<size_t>(target)].fetch_add(
-            1, std::memory_order_relaxed);
-        dispatched_total_.fetch_add(1, std::memory_order_relaxed);
+            if (!push_request(target, req))
+                continue; // dropped (counted); the outer loop re-checks
+                          // the phase before the next batch
+            assigned_[static_cast<size_t>(target)].fetch_add(
+                1, std::memory_order_relaxed);
+            dispatched_total_.fetch_add(1, std::memory_order_relaxed);
 #if defined(TQ_TELEMETRY_ENABLED)
-        telemetry::DispatcherTelemetry &dt = metrics_->dispatcher();
-        dt.dispatched.fetch_add(1, std::memory_order_relaxed);
-        dt.dispatch_cycles.add(dispatched_at - req->arrival_cycles);
-        dt.trace.record(telemetry::EventKind::JobDispatched, req->id,
-                        static_cast<uint32_t>(target));
+            telemetry::DispatcherTelemetry &dt = metrics_->dispatcher();
+            dt.dispatched.fetch_add(1, std::memory_order_relaxed);
+            dt.dispatch_cycles.add(dispatched_at - req.arrival_cycles);
+            dt.trace.record(telemetry::EventKind::JobDispatched, req.id,
+                            static_cast<uint32_t>(target));
+#endif
+        }
+#if defined(TQ_TELEMETRY_ENABLED)
+        metrics_->dispatcher().batch_occupancy.add(n);
 #endif
     }
     // Force-stopped with requests still queued: they will never be

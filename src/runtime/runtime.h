@@ -162,6 +162,8 @@ class Runtime
   private:
     void dispatcher_main();
     int pick_worker();
+    void refresh_dispatch_views();
+    int pick_worker_from_view();
     bool push_request(int target, const Request &req);
 
     RuntimeConfig cfg_;
@@ -177,6 +179,14 @@ class Runtime
     /** Dispatcher-private JSQ wrap state; no other thread touches it. */
     std::vector<WorkerStatsReader> readers_;
     std::vector<uint64_t> finished_view_;
+    /** Dispatcher-local queue-length view: refreshed from the workers'
+     *  counter lines once per RX batch (clamped at 0 against the
+     *  transient finished>assigned race), then bumped incrementally as
+     *  the batch's requests are assigned — per-request work inside a
+     *  batch never touches a shared cache line. */
+    std::vector<uint64_t> len_view_;
+    /** MSQ tie-break view, snapshotted with len_view_ per batch. */
+    std::vector<uint32_t> quanta_view_;
 
     /** External readers' wrap state, guarded by stats_mu_. */
     std::vector<WorkerStatsReader> query_readers_;

@@ -1,5 +1,6 @@
 #include "runtime/worker.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/check.h"
@@ -23,6 +24,8 @@ Worker::Worker(int id, const RuntimeConfig &cfg, Handler handler,
     TQ_CHECK(cfg_.tasks_per_worker > 0);
     TQ_CHECK(handler_);
     TQ_CHECK(lc_ != nullptr);
+    if (cfg_.work == WorkPolicy::Las)
+        las_heap_.reserve(static_cast<size_t>(cfg_.tasks_per_worker));
     for (int t = 0; t < cfg_.tasks_per_worker; ++t) {
         auto task = std::make_unique<Task>();
         Task *raw = task.get();
@@ -49,23 +52,38 @@ Worker::Worker(int id, const RuntimeConfig &cfg, Handler handler,
 void
 Worker::poll_admissions()
 {
+    // Batched admission: pop as many requests as there are idle task
+    // slots with one shared-index round trip, instead of one pop (and
+    // one acquire of the producer index) per request.
+    Request pending[kAdmitBatch];
     while (!idle_.empty()) {
-        auto req = dispatch_ring_.pop();
-        if (!req)
-            return;
-        Task *task = idle_.back();
-        idle_.pop_back();
-        task->req = *req;
-        task->quanta = 0;
-        task->service_cycles = 0;
-        task->started = false;
-        task->job_done = false;
-        task->has_job = true;
-        busy_.push_back(task);
-        busy_count_.fetch_add(1, std::memory_order_relaxed);
+        const size_t want = std::min(idle_.size(), kAdmitBatch);
+        const size_t got = dispatch_ring_.pop_n(pending, want);
+        for (size_t i = 0; i < got; ++i) {
+            Task *task = idle_.back();
+            idle_.pop_back();
+            task->req = pending[i];
+            task->quanta = 0;
+            task->admit_seq = admit_seq_next_++;
+            task->service_cycles = 0;
+            task->started = false;
+            task->job_done = false;
+            task->has_job = true;
+            if (cfg_.work == WorkPolicy::Las) {
+                las_heap_.push_back(task);
+                std::push_heap(las_heap_.begin(), las_heap_.end(),
+                               LasAfter{});
+            } else {
+                busy_.push_back(task);
+            }
+            busy_count_.fetch_add(1, std::memory_order_relaxed);
 #if defined(TQ_TELEMETRY_ENABLED)
-        telem_->counters.admitted.fetch_add(1, std::memory_order_relaxed);
+            telem_->counters.admitted.fetch_add(1,
+                                               std::memory_order_relaxed);
 #endif
+        }
+        if (got < want)
+            return; // ring drained
     }
 }
 
@@ -75,14 +93,12 @@ Worker::run_one_slice()
     TQ_FAULT_SITE(WorkerSlice);
     Task *task;
     if (cfg_.work == WorkPolicy::Las) {
-        // Least-attained-service: resume the busy task that has consumed
-        // the fewest quanta (FIFO among equals for fresh jobs).
-        size_t best = 0;
-        for (size_t i = 1; i < busy_.size(); ++i)
-            if (busy_[i]->quanta < busy_[best]->quanta)
-                best = i;
-        task = busy_[best];
-        busy_.erase(busy_.begin() + static_cast<ptrdiff_t>(best));
+        // Least-attained-service: resume the task that has consumed the
+        // fewest quanta, FIFO among equals — O(log n) heap selection in
+        // place of the old O(n) scan + mid-vector erase.
+        std::pop_heap(las_heap_.begin(), las_heap_.end(), LasAfter{});
+        task = las_heap_.back();
+        las_heap_.pop_back();
     } else {
         task = busy_.front();
         busy_.pop_front();
@@ -127,12 +143,17 @@ Worker::run_one_slice()
     if (task->job_done) {
         complete(task);
     } else {
-        // Preempted: account the serviced quantum and rotate to the tail
-        // of the PS queue.
+        // Preempted: account the serviced quantum and requeue — tail of
+        // the PS ring, or heap reinsert with the bumped quanta for LAS.
         ++task->quanta;
         stats_.current_quanta.fetch_add(1, std::memory_order_relaxed);
         stats_.total_quanta.fetch_add(1, std::memory_order_relaxed);
-        busy_.push_back(task);
+        if (cfg_.work == WorkPolicy::Las) {
+            las_heap_.push_back(task);
+            std::push_heap(las_heap_.begin(), las_heap_.end(), LasAfter{});
+        } else {
+            busy_.push_back(task);
+        }
     }
 }
 
@@ -189,12 +210,14 @@ Worker::complete(Task *task)
 void
 Worker::abandon_remaining()
 {
-    // Clear busy_ so a second sweep only sees what arrived since — the
-    // tasks' coroutines are suspended mid-job and are never resumed
-    // again; tasks_ still owns them for destruction.
-    uint64_t abandoned = static_cast<uint64_t>(busy_.size());
-    busy_count_.fetch_sub(busy_.size(), std::memory_order_relaxed);
+    // Clear the run queue so a second sweep only sees what arrived
+    // since — the tasks' coroutines are suspended mid-job and are never
+    // resumed again; tasks_ still owns them for destruction.
+    const size_t queued = busy_.size() + las_heap_.size();
+    uint64_t abandoned = static_cast<uint64_t>(queued);
+    busy_count_.fetch_sub(queued, std::memory_order_relaxed);
     busy_.clear();
+    las_heap_.clear();
     while (dispatch_ring_.pop())
         ++abandoned;
     if (abandoned != 0)
@@ -211,7 +234,7 @@ Worker::run()
         if (phase >= Lifecycle::Stopping)
             break;
         poll_admissions();
-        if (!busy_.empty()) {
+        if (!ready_empty()) {
             empty_polls = 0;
             run_one_slice();
             continue;

@@ -11,6 +11,12 @@
  * quantum, so compiler-style probes inside the handler preempt the task
  * back to the scheduler.
  *
+ * Admissions drain the dispatch ring in batches (SpscRing::pop_n — one
+ * shared-index acquire/release pair per batch). Run-queue selection is
+ * PS: ring rotation; FCFS: front of queue; LAS: an O(log n) binary
+ * min-heap keyed on (quanta, admit_seq), FIFO among equal-quanta tasks
+ * — the same order the previous O(n) scan produced.
+ *
  * The loop is lifecycle-aware (runtime/lifecycle.h): in Draining it
  * finishes admitted jobs and exits once the dispatcher is done and the
  * dispatch ring is empty; in Stopping it abandons what is left. The TX
@@ -123,6 +129,7 @@ class Worker
         Request req;               ///< job currently bound to the slot
         uint64_t result = 0;       ///< handler return value
         uint32_t quanta = 0;       ///< quanta consumed by the current job
+        uint64_t admit_seq = 0;    ///< admission order (LAS FIFO ties)
         Cycles service_cycles = 0; ///< accumulated slice time (telemetry)
         bool started = false;      ///< first slice already ran
         bool has_job = false;      ///< a job is admitted to this slot
@@ -130,10 +137,42 @@ class Worker
         std::unique_ptr<Coroutine> coro; ///< persistent task coroutine
     };
 
+    /**
+     * Min-heap order over (quanta, admit_seq) for std::push_heap (which
+     * builds a max-heap, so the comparator is reversed): the task with
+     * the fewest serviced quanta wins, FIFO among equals by admission
+     * sequence. This reproduces the old O(n) scan's selection exactly
+     * (the scan picked the earliest-queued minimum, which by induction
+     * is the earliest-admitted one) at O(log n) per selection with no
+     * mid-vector erase.
+     */
+    struct LasAfter
+    {
+        bool
+        operator()(const Task *a, const Task *b) const
+        {
+            if (a->quanta != b->quanta)
+                return a->quanta > b->quanta;
+            return a->admit_seq > b->admit_seq;
+        }
+    };
+
+    /** Admission batch: enough to refill every default task slot in one
+     *  ring round trip without outgrowing the stack buffer. */
+    static constexpr size_t kAdmitBatch = 32;
+
     void poll_admissions();
     void run_one_slice();
     void complete(Task *task);
     bool push_response(const Response &resp);
+
+    /** Admitted-but-unfinished tasks under the active work policy. */
+    bool
+    ready_empty() const
+    {
+        return cfg_.work == WorkPolicy::Las ? las_heap_.empty()
+                                            : busy_.empty();
+    }
 
     int id_;
     const RuntimeConfig cfg_;
@@ -148,7 +187,12 @@ class Worker
 
     std::vector<std::unique_ptr<Task>> tasks_;
     std::vector<Task *> idle_;
+    /** PS/FCFS run queue: plain ring rotation (pop front, push back). */
     std::deque<Task *> busy_;
+    /** LAS run queue: binary min-heap on (quanta, admit_seq). Only one
+     *  of busy_ / las_heap_ is populated, per cfg_.work. */
+    std::vector<Task *> las_heap_;
+    uint64_t admit_seq_next_ = 0;
     std::atomic<size_t> busy_count_{0};
 
     // Backpressure / shutdown accounting. Always recorded (unlike the

@@ -27,9 +27,13 @@ struct Overheads
 
     /**
      * Dispatcher work per *job* (poll packet, pick core, push to ring).
-     * TQ's dispatcher sustains ~14 Mrps (paper section 6) => ~70 ns/job.
+     * The paper quotes ~14 Mrps (section 6) => ~70 ns/job for the
+     * per-request path; this repo's batched hot path (pop_n + one
+     * counter-line refresh per batch, see DESIGN.md) measures ~31 ns/job
+     * at 16 workers on bench/misc_dispatcher_throughput, recorded in
+     * BENCH_dispatch.json.
      */
-    SimNanos dispatch_cost = 70;
+    SimNanos dispatch_cost = 31;
 
     /**
      * Centralized scheduler work per *scheduling operation* (enqueue or

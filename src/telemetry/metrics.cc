@@ -93,6 +93,12 @@ MetricsRegistry::snapshot() const
     MetricsSnapshot s;
     s.dispatched = dispatcher_.dispatched.load(std::memory_order_relaxed);
     s.trace_dropped = dispatcher_.trace.dropped();
+    s.dispatch_batches = dispatcher_.batch_occupancy.count();
+    if (s.dispatch_batches > 0)
+        s.mean_dispatch_batch =
+            static_cast<double>(dispatcher_.batch_occupancy.sum()) /
+            static_cast<double>(s.dispatch_batches);
+    s.dispatch_batch_hist = dispatcher_.batch_occupancy.snapshot();
     std::vector<const CycleHistogram *> queue, service, preempt;
     for (const auto &w : workers_) {
         const WorkerCounters &c = w->counters;
@@ -151,6 +157,11 @@ MetricsSnapshot::to_string() const
     out += buf;
     std::snprintf(buf, sizeof(buf), "trace events dropped: %llu\n",
                   static_cast<unsigned long long>(trace_dropped));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "dispatch batches: %llu (mean occupancy %.2f)\n",
+                  static_cast<unsigned long long>(dispatch_batches),
+                  mean_dispatch_batch);
     out += buf;
     std::snprintf(
         buf, sizeof(buf),

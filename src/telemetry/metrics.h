@@ -137,6 +137,14 @@ class DispatcherTelemetry
     std::atomic<uint64_t> dispatched{0};
 
     CycleHistogram dispatch_cycles; ///< RX arrival -> handed to a worker
+
+    /** Requests per non-empty RX batch (CycleHistogram reused as a
+     *  generic log2 value histogram: count = batches, sum = requests,
+     *  so sum/count is the exact mean occupancy). Occupancy ~1 means
+     *  the dispatcher is keeping up and batching is a no-op; rising
+     *  occupancy is RX queue depth, i.e. dispatcher pressure. */
+    CycleHistogram batch_occupancy;
+
     TraceRing trace;                ///< JobDispatched events
 };
 
@@ -172,6 +180,12 @@ struct MetricsSnapshot
     uint64_t yields = 0;           ///< probe-forced preemptions
     uint64_t guard_deferrals = 0;  ///< guard-deferred expiries
     uint64_t trace_dropped = 0;    ///< events lost to ring overflow
+
+    uint64_t dispatch_batches = 0;      ///< non-empty dispatcher RX polls
+    double mean_dispatch_batch = 0;     ///< mean requests per such batch
+    /** Batch-occupancy distribution (log2 buckets over request counts,
+     *  not cycles; see DispatcherTelemetry::batch_occupancy). */
+    LogHistogram dispatch_batch_hist{1, CycleHistogram::kBuckets};
 
     /** Cumulative serviced quanta from the workers' WorkerStatsLine
      *  counters, read wrap-tolerantly (filled by

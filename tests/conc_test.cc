@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <set>
@@ -93,6 +94,111 @@ TEST_P(SpscRingCapacities, TwoThreadFifoStress)
 INSTANTIATE_TEST_SUITE_P(Capacities, SpscRingCapacities,
                          ::testing::Values(1, 2, 8, 64, 1024));
 
+TEST(SpscRing, BatchAndScalarOpsInterleaveFifo)
+{
+    // Mixed scalar push / push_n / pop / pop_into / pop_n must observe
+    // one FIFO stream: the batch APIs move the same indices the scalar
+    // ones do.
+    SpscRing<int> ring(16);
+    int src[4] = {0, 1, 2, 3};
+    EXPECT_EQ(ring.push_n(src, 4), 4u);
+    EXPECT_TRUE(ring.push(4));
+    int src2[3] = {5, 6, 7};
+    EXPECT_EQ(ring.push_n(src2, 3), 3u);
+
+    auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0);
+    int out = -1;
+    ASSERT_TRUE(ring.pop_into(out));
+    EXPECT_EQ(out, 1);
+    int dst[8] = {};
+    EXPECT_EQ(ring.pop_n(dst, 8), 6u) << "only six left";
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(dst[i], i + 2);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BatchOpsArePartialOnFullAndEmpty)
+{
+    SpscRing<int> ring(4);
+    int src[6] = {0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(ring.push_n(src, 6), 4u) << "capacity-limited partial push";
+    EXPECT_EQ(ring.push_n(src, 1), 0u) << "full ring accepts nothing";
+
+    int dst[6] = {};
+    EXPECT_EQ(ring.pop_n(dst, 6), 4u) << "drains what is there";
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(dst[i], i);
+    EXPECT_EQ(ring.pop_n(dst, 6), 0u) << "empty ring yields nothing";
+    int out = -1;
+    EXPECT_FALSE(ring.pop_into(out));
+    EXPECT_EQ(out, -1) << "failed pop_into must not write";
+}
+
+TEST(SpscRing, TwoThreadBatchProducerScalarConsumer)
+{
+    // push_n on one thread against scalar pop on the other: the batch
+    // publish (one release store for the whole batch) must never expose
+    // unwritten slots.
+    SpscRing<uint64_t> ring(64);
+    constexpr uint64_t kCount = 60000;
+
+    std::thread producer([&] {
+        uint64_t batch[16];
+        uint64_t next = 0;
+        while (next < kCount) {
+            const size_t want =
+                std::min<uint64_t>(16, kCount - next);
+            for (size_t i = 0; i < want; ++i)
+                batch[i] = next + i;
+            const size_t pushed = ring.push_n(batch, want);
+            next += pushed;
+            if (pushed == 0)
+                std::this_thread::yield();
+        }
+    });
+    uint64_t expected = 0;
+    while (expected < kCount) {
+        auto v = ring.pop();
+        if (!v) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_EQ(*v, expected) << "FIFO order violated";
+        ++expected;
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TwoThreadScalarProducerBatchConsumer)
+{
+    SpscRing<uint64_t> ring(64);
+    constexpr uint64_t kCount = 60000;
+
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < kCount; ++i) {
+            while (!ring.push(i))
+                std::this_thread::yield();
+        }
+    });
+    uint64_t batch[24];
+    uint64_t expected = 0;
+    while (expected < kCount) {
+        const size_t got = ring.pop_n(batch, 24);
+        if (got == 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (size_t i = 0; i < got; ++i)
+            ASSERT_EQ(batch[i], expected + i) << "FIFO order violated";
+        expected += got;
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
 TEST(MpmcQueue, SingleThreadFifo)
 {
     MpmcQueue<int> q(4);
@@ -177,6 +283,57 @@ TEST(MpmcQueue, PerProducerOrderPreserved)
     }
     for (auto &t : producers)
         t.join();
+}
+
+TEST(MpmcQueue, PopNDrainsFifoAndIsPartial)
+{
+    MpmcQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    int dst[8] = {};
+    EXPECT_EQ(q.pop_n(dst, 3), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(dst[i], i);
+    EXPECT_EQ(q.pop_n(dst, 8), 2u) << "only two left";
+    EXPECT_EQ(dst[0], 3);
+    EXPECT_EQ(dst[1], 4);
+    EXPECT_EQ(q.pop_n(dst, 8), 0u) << "empty queue yields nothing";
+}
+
+TEST(MpmcQueue, PopNUnderMultiProducerLosesNothing)
+{
+    // Batch consumer against concurrent producers: every pushed value
+    // arrives exactly once, in per-producer order (single consumer).
+    constexpr int kProducers = 3;
+    constexpr uint64_t kPerProducer = 15000;
+    MpmcQueue<std::pair<int, uint64_t>> q(256);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (uint64_t i = 0; i < kPerProducer; ++i) {
+                while (!q.push({p, i}))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    std::pair<int, uint64_t> batch[32];
+    std::vector<uint64_t> next(kProducers, 0);
+    uint64_t total = 0;
+    while (total < kProducers * kPerProducer) {
+        const size_t got = q.pop_n(batch, 32);
+        if (got == 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (size_t i = 0; i < got; ++i) {
+            ASSERT_EQ(batch[i].second, next[batch[i].first]);
+            ++next[batch[i].first];
+        }
+        total += got;
+    }
+    for (auto &t : producers)
+        t.join();
+    EXPECT_EQ(q.size(), 0u);
 }
 
 TEST(BufferPool, AcquireReleaseRoundTrip)

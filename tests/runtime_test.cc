@@ -179,6 +179,39 @@ TEST(Runtime, LasSchedulesFreshJobsFirst)
     rt.stop();
 }
 
+TEST(Runtime, LasIsFifoAmongEqualQuanta)
+{
+    // Regression for the LAS heap rewrite: the old implementation
+    // scanned its ready deque for the minimum-quanta task, which made
+    // equal-quanta tasks run in admission order. The heap keys on
+    // (quanta, admit_seq) and must preserve that order exactly. A long
+    // blocker admitted first accumulates quanta; the shorts all stay at
+    // zero and finish within one quantum, so their completion order is
+    // their admission (= submission) order.
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.quantum_us = 200.0;
+    cfg.work = WorkPolicy::Las;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<Request> reqs;
+    reqs.push_back(make_spin_request(999, 5e6, 1)); // 5ms blocker first
+    constexpr uint64_t kShorts = 8;
+    for (uint64_t i = 0; i < kShorts; ++i)
+        reqs.push_back(make_spin_request(i, 50e3, 0)); // 50us each
+    const auto responses = run_requests(rt, reqs, 120.0);
+    ASSERT_EQ(responses.size(), reqs.size());
+    std::map<uint64_t, Cycles> done;
+    for (const auto &r : responses)
+        done[r.id] = r.done_cycles;
+    for (uint64_t i = 1; i < kShorts; ++i)
+        EXPECT_LT(done[i - 1], done[i])
+            << "equal-quanta jobs must finish in admission order";
+    for (uint64_t i = 0; i < kShorts; ++i)
+        EXPECT_LT(done[i], done[999]) << "blocker has higher quanta";
+    rt.stop();
+}
+
 TEST(Runtime, WorkerCountersConsistentAfterDrain)
 {
     RuntimeConfig cfg;
@@ -361,6 +394,56 @@ TEST(Lifecycle, DrainFinishesQueuedJobsBeforeJoining)
     rt.drain_responses(responses);
     EXPECT_EQ(responses.size(), kJobs);
     EXPECT_EQ(rt.dispatched(), kJobs);
+}
+
+TEST(Lifecycle, BatchedDispatchAccountsForEveryAcceptedJob)
+{
+    // The dispatcher now consumes RX in pop_n batches; a drain must
+    // still account for every accepted request exactly once:
+    // delivered + dropped + abandoned == accepted. Small rings and a
+    // finite push budget make all three outcomes reachable.
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.ring_capacity = 8;
+    cfg.push_spin_limit = 200;
+    cfg.dispatch_batch = 16;
+    cfg.stop_deadline_sec = 5.0;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    uint64_t accepted = 0;
+    std::vector<Response> responses;
+    for (uint64_t i = 0; i < 400; ++i) {
+        if (rt.submit(make_spin_request(i, 500)))
+            ++accepted;
+        if ((i & 63) == 63)
+            rt.drain_responses(responses); // keep TX mostly drained
+    }
+    ASSERT_GT(accepted, 0u);
+    EXPECT_TRUE(rt.drain(/*deadline_sec=*/60.0));
+    rt.drain_responses(responses);
+    EXPECT_EQ(responses.size() + rt.dropped_responses() +
+                  rt.abandoned_jobs(),
+              accepted)
+        << "every accepted job must be delivered, dropped, or abandoned";
+    EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+}
+
+TEST(Lifecycle, DispatchBatchOfOneMatchesScalarBehaviour)
+{
+    // dispatch_batch = 1 degenerates to the per-request path (one pop,
+    // one stats refresh per request); everything still round-trips.
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.dispatch_batch = 1;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 100; ++i)
+        reqs.push_back(make_spin_request(i, 1000));
+    const auto responses = run_requests(rt, reqs);
+    EXPECT_EQ(responses.size(), reqs.size());
+    rt.stop();
+    EXPECT_EQ(rt.abandoned_jobs() + rt.dropped_responses(), 0u);
 }
 
 TEST(Lifecycle, StopIsIdempotentAndThreadSafe)

@@ -12,12 +12,18 @@ This script turns one bench's stdout (or a saved file) into a PNG per
 table, with log-scaled y axes for latency series. matplotlib is the only
 dependency; the benches themselves never need it.
 
+A .json input is treated as a recorded dispatcher-calibration run
+(BENCH_dispatch.json): its dispatcher_throughput rows become a grouped
+before/after Mrps bar chart plus a speedup series.
+
 Usage:
     build/bench/fig01_quantum_slowdown | tools/plot_bench.py -o fig01.png
     tools/plot_bench.py bench_output_fig07.txt -o fig07.png
+    tools/plot_bench.py BENCH_dispatch.json -o dispatch.png
 """
 
 import argparse
+import json
 import sys
 
 
@@ -59,11 +65,56 @@ def parse_tables(lines):
     return tables
 
 
+def plot_dispatch_json(path, output):
+    """Render BENCH_dispatch.json: before/after Mrps bars + speedup."""
+    with open(path) as f:
+        data = json.load(f)
+    rows = data["dispatcher_throughput"]
+    workers = [r["workers"] for r in rows]
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, (ax, ax2) = plt.subplots(1, 2, figsize=(11, 4.5))
+    xs = range(len(workers))
+    width = 0.38
+    ax.bar([x - width / 2 for x in xs], [r["before_mrps"] for r in rows],
+           width, label="scalar (before)")
+    ax.bar([x + width / 2 for x in xs], [r["after_mrps"] for r in rows],
+           width, label="batched (after)")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels([str(w) for w in workers])
+    ax.set_xlabel("workers")
+    ax.set_ylabel("dispatcher Mrps")
+    ax.set_title("dispatcher throughput, scalar vs batched", fontsize=9)
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+
+    ax2.plot(workers, [r["speedup"] for r in rows], marker="o")
+    ax2.axhline(1.5, linestyle="--", alpha=0.5, label="1.5x target")
+    ax2.set_xlabel("workers")
+    ax2.set_ylabel("speedup (x)")
+    ax2.set_ylim(bottom=0)
+    ax2.set_title("batched / scalar speedup", fontsize=9)
+    ax2.legend(fontsize=8)
+    ax2.grid(True, alpha=0.3)
+
+    fig.tight_layout()
+    fig.savefig(output, dpi=130)
+    print(f"wrote {output}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("input", nargs="?", help="bench output file (default stdin)")
     ap.add_argument("-o", "--output", default="bench.png", help="output PNG")
     args = ap.parse_args()
+
+    if args.input and args.input.endswith(".json"):
+        plot_dispatch_json(args.input, args.output)
+        return
 
     text = open(args.input).readlines() if args.input else sys.stdin.readlines()
     tables = parse_tables(text)
