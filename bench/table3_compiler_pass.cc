@@ -13,9 +13,11 @@
  * CI-Cycles costs more than CI and still times worse than TQ.
  */
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "compiler/report.h"
+#include "compiler/verifier.h"
 #include "progs/programs.h"
 
 using namespace tq;
@@ -34,7 +36,7 @@ main()
     ecfg.seed = 11;
 
     std::printf("workload\tCI_ovh%%\tCICY_ovh%%\tTQ_ovh%%\tCI_mae\t"
-                "CICY_mae\tTQ_mae\tCI_probes\tTQ_probes\n");
+                "CICY_mae\tTQ_mae\tCI_probes\tTQ_probes\tTQ_bound\n");
 
     double sum_ci_o = 0, sum_cy_o = 0, sum_tq_o = 0;
     double sum_ci_m = 0, sum_cy_m = 0, sum_tq_m = 0;
@@ -44,11 +46,21 @@ main()
     for (const auto &name : progs::program_names()) {
         const Module m = progs::make_program(name);
         const ComparisonRow row = compare_techniques(m, pcfg, ecfg);
-        std::printf("%s\t%.2f\t%.2f\t%.2f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+        // Every reported placement must carry a static proof of the
+        // probe-free-stretch bound; a row without one is not a result.
+        if (!row.ci.verified || !row.ci_cycles.verified ||
+            !row.tq.verified) {
+            std::fprintf(stderr,
+                         "table3: %s: placement failed verification\n",
+                         name.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("%s\t%.2f\t%.2f\t%.2f\t%.0f\t%.0f\t%.0f\t%d\t%d\t%llu\n",
                     name.c_str(), row.ci.overhead * 100,
                     row.ci_cycles.overhead * 100, row.tq.overhead * 100,
                     row.ci.mae_ns, row.ci_cycles.mae_ns, row.tq.mae_ns,
-                    row.ci.static_probes, row.tq.static_probes);
+                    row.ci.static_probes, row.tq.static_probes,
+                    static_cast<unsigned long long>(row.tq.static_bound));
         std::fflush(stdout);
         sum_ci_o += row.ci.overhead * 100;
         sum_cy_o += row.ci_cycles.overhead * 100;
@@ -61,7 +73,7 @@ main()
             row.tq.mae_ns <= row.ci.mae_ns)
             ++tq_wins_both;
     }
-    std::printf("mean\t%.2f\t%.2f\t%.2f\t%.0f\t%.0f\t%.0f\t-\t-\n",
+    std::printf("mean\t%.2f\t%.2f\t%.2f\t%.0f\t%.0f\t%.0f\t-\t-\t-\n",
                 sum_ci_o / n, sum_cy_o / n, sum_tq_o / n, sum_ci_m / n,
                 sum_cy_m / n, sum_tq_m / n);
     std::printf("# TQ better than CI on both overhead and MAE: %d / %d "

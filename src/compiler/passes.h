@@ -80,12 +80,15 @@ void run_ci_pass(Module &m, const PassConfig &cfg);
 void run_ci_cycles_pass(Module &m, const PassConfig &cfg);
 
 /**
- * Static verification helper: longest-stretch facts of one function.
- * Loops contribute a single iteration (back edges removed); guard probes
- * count as resets. Exact for acyclic functions; a conservative
- * *per-iteration* bound inside loops (cross-iteration accumulation is
- * bounded separately by the loop-guard period — the timing executor's
- * max_stretch metric checks the end-to-end property empirically).
+ * Placement-time projection: longest-stretch facts of one function with
+ * back edges removed, i.e. a *per-iteration* view. Loops contribute a
+ * single iteration and guard probes count as unconditional resets, so
+ * max_gap is what the pass itself budgets against when placing probes —
+ * it is NOT the worst case a run can observe, because a period-K guard
+ * lets up to K-1 iterations pass silently and callees compound across
+ * frames. The proof of the end-to-end, cross-iteration, interprocedural
+ * bound is verifier.h's verify_module(); use that (not these facts) when
+ * asserting the placement invariant.
  */
 struct StretchFacts
 {

@@ -1,5 +1,7 @@
 #include "compiler/report.h"
 
+#include "compiler/verifier.h"
+
 namespace tq::compiler {
 
 TechniqueMetrics
@@ -29,6 +31,9 @@ measure_technique(const Module &m, ProbeKind technique,
     tm.yields = res.yields;
     for (const auto &fn : inst.functions)
         tm.static_probes += fn.probe_count();
+    const VerifyResult vr = verify_module(inst);
+    tm.verified = vr.ok;
+    tm.static_bound = vr.max_stretch;
     return tm;
 }
 

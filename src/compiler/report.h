@@ -24,6 +24,8 @@ struct TechniqueMetrics
     double mae_ns = 0;         ///< yield-timing mean absolute error
     int static_probes = 0;     ///< probe sites inserted
     uint64_t yields = 0;
+    uint64_t static_bound = 0; ///< verifier's worst-case probe-free stretch
+    bool verified = false;     ///< verify_module accepted the placement
 };
 
 /** Table-3 style row for one workload module. */

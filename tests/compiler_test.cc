@@ -13,6 +13,7 @@
 #include "compiler/exec.h"
 #include "compiler/passes.h"
 #include "compiler/report.h"
+#include "compiler/verifier.h"
 
 namespace tq::compiler {
 namespace {
@@ -528,9 +529,12 @@ TEST(Exec, TqProbesYieldNearQuantum)
     EXPECT_GT(r.yields, 100u);
     // MAE well under the quantum: probes fire every <=100 instrs.
     EXPECT_LT(r.yield_mae_cycles, 0.25 * cfg.quantum_cycles);
-    // Placement invariant, observed empirically: probe-free stretches
-    // stay within a small multiple of the bound (loop-guard rounding).
-    EXPECT_LE(r.max_stretch_instrs, 4u * pcfg.bound);
+    // Placement invariant, statically proven: the verifier computes the
+    // exact worst-case probe-free stretch and execution must honor it.
+    const VerifyResult vr = verify_module(m);
+    ASSERT_TRUE(vr.ok) << report(vr, m);
+    ASSERT_NE(vr.max_stretch, kUnboundedStretch);
+    EXPECT_LE(r.max_stretch_instrs, vr.max_stretch);
 }
 
 TEST(Exec, CiYieldTimingSuffersFromVariableLatency)

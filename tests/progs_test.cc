@@ -9,6 +9,7 @@
 #include "compiler/exec.h"
 #include "compiler/passes.h"
 #include "compiler/report.h"
+#include "compiler/verifier.h"
 #include "progs/programs.h"
 
 namespace tq::progs {
@@ -65,9 +66,12 @@ TEST_P(AllPrograms, TqPassBoundsStretchAndYields)
     cfg.seed = 7;
     const ExecResult r = execute(m, cfg);
     EXPECT_GT(r.yields, 20u) << "program must be preemptable";
-    // Empirical placement invariant: probe-free stretches bounded within
-    // loop-guard rounding slack (O(bound x nesting), see passes.h).
-    EXPECT_LE(r.max_stretch_instrs, 8u * static_cast<uint64_t>(pcfg.bound));
+    // Placement invariant, statically proven: the verifier's whole-module
+    // worst-case probe-free stretch dominates any execution.
+    const compiler::VerifyResult vr = compiler::verify_module(m);
+    ASSERT_TRUE(vr.ok) << compiler::report(vr, m);
+    ASSERT_NE(vr.max_stretch, compiler::kUnboundedStretch);
+    EXPECT_LE(r.max_stretch_instrs, vr.max_stretch);
 }
 
 TEST_P(AllPrograms, TqCheaperPerProbeSiteThanCi)

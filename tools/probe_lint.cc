@@ -1,0 +1,292 @@
+/**
+ * @file
+ * probe_lint: static placement linter for the instrumentation passes.
+ *
+ * Instruments every built-in Table-3 program with each technique at a
+ * sweep of placement bounds, runs the static probe-bound verifier
+ * (compiler/verifier.h) on the result, and reports the proven
+ * worst-case probe-free stretch for each combination. Exits nonzero
+ * if any placement fails verification — unbounded probe-free cycle,
+ * structural breakage, or a proven bound above the configured budget.
+ *
+ * Usage:
+ *   probe_lint [--json] [--bounds N,N,...] [--passes tq,ci,cicycles]
+ *              [--programs name,...] [--limit-multiple X] [--list]
+ *
+ *   --json            machine-readable output (one JSON document)
+ *   --bounds          placement bounds to sweep (default 100,400,1600)
+ *   --passes          techniques to lint (default all three)
+ *   --programs        comma-separated program names (default all)
+ *   --limit-multiple  fail when proven bound > X * placement bound
+ *                     (default 0 = disabled: TQ's per-frame loop-guard
+ *                     counters compound across call boundaries, so the
+ *                     proven worst case of a call-in-loop placement is
+ *                     ~guard-period x callee-silent-path — measured up
+ *                     to ~4000x bound on the ocean programs. Budgets
+ *                     are an opt-in policy, not a soundness check.)
+ *   --list            print available program names and exit
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/passes.h"
+#include "compiler/verifier.h"
+#include "progs/programs.h"
+
+namespace {
+
+using tq::compiler::Module;
+using tq::compiler::PassConfig;
+using tq::compiler::Severity;
+using tq::compiler::VerifyConfig;
+using tq::compiler::VerifyResult;
+
+struct Options
+{
+    bool json = false;
+    bool list = false;
+    std::vector<int> bounds = {100, 400, 1600};
+    std::vector<std::string> passes = {"tq", "ci", "cicycles"};
+    std::vector<std::string> programs; // empty = all
+    double limit_multiple = 0.0;
+};
+
+std::vector<std::string>
+split(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            if (start < s.size())
+                out.push_back(s.substr(start));
+            break;
+        }
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage_error(const char *msg)
+{
+    std::fprintf(stderr, "probe_lint: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: probe_lint [--json] [--bounds N,N,...] "
+                 "[--passes tq,ci,cicycles] [--programs name,...] "
+                 "[--limit-multiple X] [--list]\n");
+    std::exit(2);
+}
+
+Options
+parse_args(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage_error(("missing value for " + arg).c_str());
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--bounds") {
+            opt.bounds.clear();
+            for (const auto &tok : split(value())) {
+                const int b = std::atoi(tok.c_str());
+                if (b <= 0)
+                    usage_error("bounds must be positive integers");
+                opt.bounds.push_back(b);
+            }
+            if (opt.bounds.empty())
+                usage_error("empty --bounds");
+        } else if (arg == "--passes") {
+            opt.passes = split(value());
+            for (const auto &p : opt.passes)
+                if (p != "tq" && p != "ci" && p != "cicycles")
+                    usage_error("unknown pass (want tq, ci, cicycles)");
+            if (opt.passes.empty())
+                usage_error("empty --passes");
+        } else if (arg == "--programs") {
+            opt.programs = split(value());
+        } else if (arg == "--limit-multiple") {
+            opt.limit_multiple = std::atof(value().c_str());
+            if (opt.limit_multiple < 0)
+                usage_error("--limit-multiple must be >= 0");
+        } else {
+            usage_error(("unknown argument: " + arg).c_str());
+        }
+    }
+    return opt;
+}
+
+void
+apply_pass(Module &m, const std::string &pass, const PassConfig &pcfg)
+{
+    if (pass == "tq")
+        run_tq_pass(m, pcfg);
+    else if (pass == "ci")
+        run_ci_pass(m, pcfg);
+    else
+        run_ci_cycles_pass(m, pcfg);
+}
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+struct Row
+{
+    std::string program;
+    std::string pass;
+    int bound = 0;
+    int probes = 0;
+    uint64_t static_bound = 0;
+    bool ok = false;
+    int errors = 0;
+    int warnings = 0;
+    std::vector<std::string> diags;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse_args(argc, argv);
+
+    const std::vector<std::string> &all = tq::progs::program_names();
+    if (opt.list) {
+        for (const auto &name : all)
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    std::vector<std::string> programs =
+        opt.programs.empty() ? all : opt.programs;
+    for (const auto &p : programs) {
+        bool known = false;
+        for (const auto &name : all)
+            known |= name == p;
+        if (!known)
+            usage_error(("unknown program: " + p).c_str());
+    }
+
+    std::vector<Row> rows;
+    bool failed = false;
+    for (const auto &prog : programs) {
+        const Module base = tq::progs::make_program(prog);
+        for (const auto &pass : opt.passes) {
+            for (int bound : opt.bounds) {
+                PassConfig pcfg;
+                pcfg.bound = bound;
+                Module m = base;
+                apply_pass(m, pass, pcfg);
+
+                VerifyConfig vcfg;
+                if (opt.limit_multiple > 0)
+                    vcfg.fail_above = static_cast<uint64_t>(
+                        opt.limit_multiple * bound);
+                const VerifyResult vr = verify_module(m, vcfg);
+
+                Row row;
+                row.program = prog;
+                row.pass = pass;
+                row.bound = bound;
+                row.probes = m.probe_count();
+                row.static_bound = vr.max_stretch;
+                row.ok = vr.ok;
+                for (const auto &d : vr.diags) {
+                    row.errors += d.severity == Severity::Error;
+                    row.warnings += d.severity == Severity::Warning;
+                    row.diags.push_back(tq::compiler::to_string(d, m));
+                }
+                failed |= !vr.ok;
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+
+    if (opt.json) {
+        std::printf("{\n  \"limit_multiple\": %g,\n  \"results\": [\n",
+                    opt.limit_multiple);
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            std::printf("    {\"program\": \"%s\", \"pass\": \"%s\", "
+                        "\"bound\": %d, \"probes\": %d, ",
+                        json_escape(r.program).c_str(), r.pass.c_str(),
+                        r.bound, r.probes);
+            if (r.static_bound == tq::compiler::kUnboundedStretch)
+                std::printf("\"static_bound\": null, ");
+            else
+                std::printf("\"static_bound\": %llu, ",
+                            static_cast<unsigned long long>(r.static_bound));
+            std::printf("\"ok\": %s, \"errors\": %d, \"warnings\": %d, "
+                        "\"diags\": [",
+                        r.ok ? "true" : "false", r.errors, r.warnings);
+            for (size_t j = 0; j < r.diags.size(); ++j)
+                std::printf("%s\"%s\"", j ? ", " : "",
+                            json_escape(r.diags[j]).c_str());
+            std::printf("]}%s\n", i + 1 < rows.size() ? "," : "");
+        }
+        std::printf("  ],\n  \"ok\": %s\n}\n", failed ? "false" : "true");
+    } else {
+        std::printf("%-22s %-9s %6s %7s %12s %7s  %s\n", "program", "pass",
+                    "bound", "probes", "static-bound", "ratio", "status");
+        for (const Row &r : rows) {
+            char bound_buf[32];
+            char ratio_buf[32];
+            if (r.static_bound == tq::compiler::kUnboundedStretch) {
+                std::snprintf(bound_buf, sizeof bound_buf, "unbounded");
+                std::snprintf(ratio_buf, sizeof ratio_buf, "-");
+            } else {
+                std::snprintf(bound_buf, sizeof bound_buf, "%llu",
+                              static_cast<unsigned long long>(
+                                  r.static_bound));
+                std::snprintf(ratio_buf, sizeof ratio_buf, "%.2f",
+                              static_cast<double>(r.static_bound) /
+                                  r.bound);
+            }
+            std::printf("%-22s %-9s %6d %7d %12s %7s  %s\n",
+                        r.program.c_str(), r.pass.c_str(), r.bound,
+                        r.probes, bound_buf, ratio_buf,
+                        r.ok ? "ok" : "FAIL");
+            if (!r.ok)
+                for (const auto &d : r.diags)
+                    std::printf("    %s\n", d.c_str());
+        }
+        std::printf("\n%zu combination%s checked, %s\n", rows.size(),
+                    rows.size() == 1 ? "" : "s",
+                    failed ? "FAILURES above" : "all placements verified");
+    }
+    return failed ? 1 : 0;
+}
