@@ -21,7 +21,7 @@ using namespace tq;
 using namespace tq::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Ablation",
                   "core policy: PS vs LAS vs FCFS, Extreme Bimodal, 99.9% "
@@ -31,17 +31,39 @@ main()
 
     const CorePolicy policies[] = {CorePolicy::ProcessorSharing,
                                    CorePolicy::Las, CorePolicy::Fcfs};
-    const char *names[] = {"PS", "LAS", "FCFS"};
+
+    // One run per (rate, policy) cell feeds both class tables (this
+    // bench used to re-run every simulation once per printed class).
+    struct Cell
+    {
+        TwoLevelConfig cfg;
+        double rate;
+    };
+    std::vector<Cell> cells;
+    for (double rate : rates) {
+        for (CorePolicy p : policies) {
+            Cell c;
+            c.cfg.core_policy = p;
+            c.cfg.duration = bench::sim_duration();
+            c.cfg.stop_when_saturated = true; // cells only print "sat"
+            c.rate = rate;
+            cells.push_back(c);
+        }
+    }
+    std::vector<SimResult> results(cells.size());
+    parallel_run(cells.size(), bench::sweep_threads(argc, argv),
+                 [&](size_t i) {
+                     results[i] =
+                         run_two_level(cells[i].cfg, *dist, cells[i].rate);
+                 });
 
     for (const char *cls : {"Short", "Long"}) {
         std::printf("## %s jobs\nrate_mrps\tPS\tLAS\tFCFS\n", cls);
+        size_t i = 0;
         for (double rate : rates) {
             std::printf("%.2f", to_mrps(rate));
             for (int p = 0; p < 3; ++p) {
-                TwoLevelConfig cfg;
-                cfg.core_policy = policies[p];
-                cfg.duration = bench::sim_duration();
-                const SimResult r = run_two_level(cfg, *dist, rate);
+                const SimResult &r = results[i++];
                 std::printf("\t%s",
                             bench::cell_us(r.saturated,
                                            r.by_class(cls).p999_sojourn)
@@ -51,6 +73,5 @@ main()
             std::fflush(stdout);
         }
     }
-    (void)names;
     return 0;
 }

@@ -12,6 +12,7 @@
  * near-linear in the number of dispatchers until workers saturate.
  */
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/dist.h"
@@ -22,24 +23,30 @@ using namespace tq;
 using namespace tq::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Ablation",
                   "multi-dispatcher scaling: max rate (Mrps) with 99.9% "
                   "slowdown <= 10, 64 cores, 0.5us jobs");
     FixedDist dist(us(0.5));
+    const std::vector<int> dispatchers = {1, 2, 4};
+    std::vector<double> caps(dispatchers.size());
+    parallel_run(dispatchers.size(), bench::sweep_threads(argc, argv),
+                 [&](size_t i) {
+                     TwoLevelConfig cfg;
+                     cfg.num_cores = 64;
+                     cfg.num_dispatchers = dispatchers[i];
+                     cfg.quantum = us(2);
+                     cfg.duration = bench::sim_duration();
+                     cfg.stop_when_saturated = true; // SLO probes only
+                     caps[i] = max_rate_under_slo(
+                         [&](double rate) {
+                             return run_two_level(cfg, dist, rate);
+                         },
+                         slowdown_slo(10), mrps(2), mrps(60), 8);
+                 });
     std::printf("dispatchers\tmax_Mrps\n");
-    for (int d : {1, 2, 4}) {
-        TwoLevelConfig cfg;
-        cfg.num_cores = 64;
-        cfg.num_dispatchers = d;
-        cfg.quantum = us(2);
-        cfg.duration = bench::sim_duration();
-        const double cap = max_rate_under_slo(
-            [&](double rate) { return run_two_level(cfg, dist, rate); },
-            slowdown_slo(10), mrps(2), mrps(60), 8);
-        std::printf("%d\t%.1f\n", d, to_mrps(cap));
-        std::fflush(stdout);
-    }
+    for (size_t i = 0; i < dispatchers.size(); ++i)
+        std::printf("%d\t%.1f\n", dispatchers[i], to_mrps(caps[i]));
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/units.h"
@@ -28,6 +29,32 @@ sim_duration()
             return ms(v);
     }
     return ms(60);
+}
+
+/**
+ * Sweep parallelism for DES benches: the value of a `--sweep-threads=N`
+ * argument, else the TQ_SWEEP_THREADS environment variable, else 1
+ * (serial, the historical behavior). Points of a sweep are independent
+ * simulations and serial/parallel results are bitwise identical (see
+ * sim/sweep.h), so this only trades wall clock for cores.
+ */
+inline int
+sweep_threads(int argc, char **argv)
+{
+    constexpr const char *kFlag = "--sweep-threads=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+            const int v = std::atoi(argv[i] + std::strlen(kFlag));
+            if (v > 0)
+                return v;
+        }
+    }
+    if (const char *env = std::getenv("TQ_SWEEP_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return 1;
 }
 
 /** Print the standard bench banner. */

@@ -18,8 +18,9 @@ using namespace tq;
 using namespace tq::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = bench::sweep_threads(argc, argv);
     bench::banner("Figure 7",
                   "TQ vs Shinjuku vs Caladan, bimodal workloads, 99.9% "
                   "sojourn (us)");
@@ -28,14 +29,14 @@ main()
                     "Shinjuku quantum 5us\n");
         auto dist = workload_table::extreme_bimodal();
         bench::compare_systems(*dist, rate_grid(mrps(0.5), mrps(4.75), 9),
-                               5.0, {"Short", "Long"});
+                               5.0, {"Short", "Long"}, threads);
     }
     {
         std::printf("## High Bimodal (50%% x 1us, 50%% x 100us); Shinjuku "
                     "quantum 5us\n");
         auto dist = workload_table::high_bimodal();
         bench::compare_systems(*dist, rate_grid(mrps(0.04), mrps(0.30), 9),
-                               5.0, {"Short", "Long"});
+                               5.0, {"Short", "Long"}, threads);
     }
     return 0;
 }

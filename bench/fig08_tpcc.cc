@@ -18,36 +18,30 @@ using namespace tq;
 using namespace tq::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 8",
                   "TPC-C: per-type 99.9% sojourn (us) and overall 99.9% "
                   "slowdown; Shinjuku quantum 10us");
     auto dist = workload_table::tpcc();
     const auto rates = rate_grid(mrps(0.1), mrps(0.8), 8);
-    bench::compare_systems(*dist, rates, 10.0, {"Payment", "StockLevel"});
+    // The slowdown table below reuses the same rows (this bench used to
+    // re-run all three systems a second time for it).
+    const auto rows =
+        bench::compare_systems(*dist, rates, 10.0,
+                               {"Payment", "StockLevel"},
+                               bench::sweep_threads(argc, argv));
 
     std::printf("## overall 99.9%% slowdown\nrate_mrps\tTQ\tShinjuku\t"
                 "Caladan\n");
-    for (double rate : rates) {
-        TwoLevelConfig tq_cfg;
-        tq_cfg.quantum = us(2);
-        tq_cfg.duration = bench::sim_duration();
-        const SimResult r_tq = run_two_level(tq_cfg, *dist, rate);
-        CentralConfig sj;
-        sj.quantum = us(10);
-        sj.overheads = Overheads::shinjuku_default();
-        sj.duration = bench::sim_duration();
-        const SimResult r_sj = run_central(sj, *dist, rate);
-        CaladanConfig ca;
-        ca.duration = bench::sim_duration();
-        const SimResult r_ca = run_caladan(ca, *dist, rate);
+    for (size_t i = 0; i < rates.size(); ++i) {
         auto fmt = [](const SimResult &r) {
             return r.saturated ? std::string("sat")
                                : bench::cell(r.overall_p999_slowdown);
         };
-        std::printf("%.2f\t%s\t%s\t%s\n", to_mrps(rate), fmt(r_tq).c_str(),
-                    fmt(r_sj).c_str(), fmt(r_ca).c_str());
+        std::printf("%.2f\t%s\t%s\t%s\n", to_mrps(rates[i]),
+                    fmt(rows[i].tq).c_str(), fmt(rows[i].shinjuku).c_str(),
+                    fmt(rows[i].caladan_io).c_str());
         std::fflush(stdout);
     }
     return 0;

@@ -22,58 +22,119 @@
 
 namespace tq::bench {
 
-/** One three-system latency row per offered rate. */
-inline void
-compare_systems(const ServiceDist &dist, const std::vector<double> &rates,
-                double shinjuku_quantum_us,
-                const std::vector<std::string> &classes)
+/** The four simulations behind one comparison row. */
+struct SystemRow
+{
+    sim::SimResult tq;
+    sim::SimResult shinjuku;
+    sim::SimResult caladan_io;
+    sim::SimResult caladan_dp;
+
+    /** Caladan cell: the better of IOKernel and directpath modes per
+     *  workload point (paper section 5.1). */
+    const sim::SimResult &
+    caladan() const
+    {
+        const bool dp_better =
+            caladan_io.saturated ||
+            (!caladan_dp.saturated &&
+             caladan_dp.overall_p999_slowdown <
+                 caladan_io.overall_p999_slowdown);
+        return dp_better ? caladan_dp : caladan_io;
+    }
+};
+
+/**
+ * Run the three systems at each rate, spreading the independent
+ * (rate, system) simulations over @p threads workers. Rows come back in
+ * rate order; a figure can print several tables from one pass instead
+ * of re-running the grid per table.
+ */
+inline std::vector<SystemRow>
+run_systems(const ServiceDist &dist, const std::vector<double> &rates,
+            double shinjuku_quantum_us, int threads)
 {
     using namespace tq::sim;
 
+    std::vector<SystemRow> rows(rates.size());
+    // Tables render "sat" for saturated cells and the best-of-Caladan
+    // pick only compares saturation flags and non-saturated slowdowns,
+    // so overloaded runs can stop at the saturation verdict.
+    parallel_run(rates.size() * 4, threads, [&](size_t i) {
+        const double rate = rates[i / 4];
+        SystemRow &row = rows[i / 4];
+        switch (i % 4) {
+          case 0: {
+            TwoLevelConfig cfg;
+            cfg.quantum = us(2);
+            cfg.overheads = Overheads::tq_default();
+            cfg.duration = sim_duration();
+            cfg.stop_when_saturated = true;
+            row.tq = run_two_level(cfg, dist, rate);
+            break;
+          }
+          case 1: {
+            CentralConfig cfg;
+            cfg.quantum = us(shinjuku_quantum_us);
+            cfg.overheads = Overheads::shinjuku_default();
+            cfg.duration = sim_duration();
+            cfg.stop_when_saturated = true;
+            row.shinjuku = run_central(cfg, dist, rate);
+            break;
+          }
+          case 2:
+          case 3: {
+            CaladanConfig cfg;
+            cfg.duration = sim_duration();
+            cfg.directpath = i % 4 == 3;
+            cfg.stop_when_saturated = true;
+            (cfg.directpath ? row.caladan_dp : row.caladan_io) =
+                run_caladan(cfg, dist, rate);
+            break;
+          }
+        }
+    });
+    return rows;
+}
+
+/** Print the standard per-class latency table for @p rows. */
+inline void
+print_system_rows(const std::vector<SystemRow> &rows,
+                  const std::vector<double> &rates,
+                  const std::vector<std::string> &classes)
+{
     std::printf("rate_mrps");
     for (const auto &c : classes)
         std::printf("\tTQ_%s\tShinjuku_%s\tCaladan_%s", c.c_str(),
                     c.c_str(), c.c_str());
     std::printf("\n");
 
-    for (double rate : rates) {
-        TwoLevelConfig tq_cfg;
-        tq_cfg.quantum = us(2);
-        tq_cfg.overheads = Overheads::tq_default();
-        tq_cfg.duration = sim_duration();
-        const SimResult r_tq = run_two_level(tq_cfg, dist, rate);
-
-        CentralConfig sj_cfg;
-        sj_cfg.quantum = us(shinjuku_quantum_us);
-        sj_cfg.overheads = Overheads::shinjuku_default();
-        sj_cfg.duration = sim_duration();
-        const SimResult r_sj = run_central(sj_cfg, dist, rate);
-
-        // Caladan: report the better of IOKernel and directpath modes
-        // per workload point (paper section 5.1).
-        CaladanConfig ca_cfg;
-        ca_cfg.duration = sim_duration();
-        ca_cfg.directpath = false;
-        SimResult r_ca = run_caladan(ca_cfg, dist, rate);
-        ca_cfg.directpath = true;
-        SimResult r_dp = run_caladan(ca_cfg, dist, rate);
-        const bool dp_better =
-            r_ca.saturated ||
-            (!r_dp.saturated &&
-             r_dp.overall_p999_slowdown < r_ca.overall_p999_slowdown);
-        const SimResult &r_cal = dp_better ? r_dp : r_ca;
-
-        std::printf("%.2f", to_mrps(rate));
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::printf("%.2f", to_mrps(rates[i]));
         for (const auto &c : classes) {
-            auto fmt = [&](const SimResult &r) {
+            auto fmt = [&](const sim::SimResult &r) {
                 return cell_us(r.saturated, r.by_class(c).p999_sojourn);
             };
-            std::printf("\t%s\t%s\t%s", fmt(r_tq).c_str(),
-                        fmt(r_sj).c_str(), fmt(r_cal).c_str());
+            std::printf("\t%s\t%s\t%s", fmt(rows[i].tq).c_str(),
+                        fmt(rows[i].shinjuku).c_str(),
+                        fmt(rows[i].caladan()).c_str());
         }
         std::printf("\n");
         std::fflush(stdout);
     }
+}
+
+/** One three-system latency row per offered rate. @return the rows so
+ *  callers can derive further tables without re-running. */
+inline std::vector<SystemRow>
+compare_systems(const ServiceDist &dist,
+                const std::vector<double> &rates,
+                double shinjuku_quantum_us,
+                const std::vector<std::string> &classes, int threads = 1)
+{
+    auto rows = run_systems(dist, rates, shinjuku_quantum_us, threads);
+    print_system_rows(rows, rates, classes);
+    return rows;
 }
 
 } // namespace tq::bench

@@ -33,6 +33,28 @@ PercentileTracker::quantile(double q, double warmup_fraction)
     return *(first + static_cast<ptrdiff_t>(rank));
 }
 
+std::vector<double>
+PercentileTracker::quantiles(std::span<const double> qs,
+                             double warmup_fraction)
+{
+    const size_t begin = warmup_index(warmup_fraction);
+    if (begin >= samples_.size())
+        return std::vector<double>(qs.size(), 0.0);
+    const size_t n = samples_.size() - begin;
+    auto first = samples_.begin() + static_cast<ptrdiff_t>(begin);
+    std::sort(first, samples_.end());
+    std::vector<double> out;
+    out.reserve(qs.size());
+    for (const double q : qs) {
+        TQ_CHECK(q >= 0.0 && q <= 1.0);
+        size_t rank = static_cast<size_t>(q * static_cast<double>(n));
+        if (rank >= n)
+            rank = n - 1;
+        out.push_back(*(first + static_cast<ptrdiff_t>(rank)));
+    }
+    return out;
+}
+
 double
 PercentileTracker::mean(double warmup_fraction) const
 {

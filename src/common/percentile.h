@@ -12,6 +12,7 @@
 #define TQ_COMMON_PERCENTILE_H
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace tq {
@@ -21,6 +22,13 @@ class PercentileTracker
 {
   public:
     PercentileTracker() = default;
+
+    /**
+     * Pre-size the sample store for @p n expected samples. Purely an
+     * allocation hint; simulations pass their expected completion count
+     * to avoid the doubling-growth copies of a multi-million-sample run.
+     */
+    void reserve(size_t n) { samples_.reserve(n); }
 
     /** Record one sample. */
     void add(double value) { samples_.push_back(value); }
@@ -39,6 +47,17 @@ class PercentileTracker
      * Non-const: selection reorders the retained suffix in place.
      */
     double quantile(double q, double warmup_fraction = 0.0);
+
+    /**
+     * Batch form of quantile(): returns the value at each q in @p qs,
+     * in order. Sorts the retained suffix once instead of running one
+     * selection per quantile, so extracting the k quantiles a report
+     * needs costs one O(n log n) pass rather than k O(n) passes over a
+     * cache-cold array. Values are identical to calling quantile() per
+     * q (same nearest-rank convention).
+     */
+    std::vector<double> quantiles(std::span<const double> qs,
+                                  double warmup_fraction = 0.0);
 
     /** Arithmetic mean over the post-warm-up samples (0 when empty). */
     double mean(double warmup_fraction = 0.0) const;

@@ -1,11 +1,11 @@
 #include "sim/caladan.h"
 
 #include <deque>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "sim/event_core.h"
 
 namespace tq::sim {
 
@@ -13,21 +13,7 @@ namespace {
 
 constexpr uint32_t kNone = ~0u;
 
-struct Event
-{
-    SimNanos time;
-    enum Kind : uint8_t { kArrival, kIoDone, kCoreDone } kind;
-    int core;
-    uint64_t seq;
-
-    bool
-    operator>(const Event &other) const
-    {
-        if (time != other.time)
-            return time > other.time;
-        return seq > other.seq;
-    }
-};
+enum EventKind : uint32_t { kArrival, kIoDone, kCoreDone };
 
 struct Core
 {
@@ -41,107 +27,44 @@ class CaladanSim
     CaladanSim(const CaladanConfig &cfg, const ServiceDist &dist,
                double rate)
         : cfg_(cfg),
-          dist_(dist),
-          rate_(rate),
-          rng_(cfg.seed),
-          cores_(static_cast<size_t>(cfg.num_cores)),
-          metrics_(dist.class_names(), cfg.warmup)
+          core_(dist, rate, cfg.seed, cfg.duration, cfg.max_in_flight,
+                cfg.stop_when_saturated, cfg.warmup),
+          cores_(static_cast<size_t>(cfg.num_cores))
     {
         TQ_CHECK(cfg.num_cores > 0);
-        TQ_CHECK(rate > 0);
     }
 
     SimResult
     run()
     {
-        schedule(rng_.exponential(1.0 / rate_), Event::kArrival, -1);
-        const SimNanos hard_stop = cfg_.duration * 3;
-
-        while (!heap_.empty()) {
-            const Event ev = heap_.top();
-            heap_.pop();
-            now_ = ev.time;
-            if (now_ > hard_stop) {
-                saturated_ = true;
-                break;
-            }
-            if (!backlog_checked_ && now_ >= cfg_.duration)
-                check_backlog();
-            switch (ev.kind) {
-              case Event::kArrival:
+        core_.schedule(core_.next_arrival_after(0), kArrival, -1);
+        core_.drive([this](uint32_t kind, int c) {
+            switch (kind) {
+              case kArrival:
                 on_arrival();
                 break;
-              case Event::kIoDone:
+              case kIoDone:
                 on_io_done();
                 break;
-              case Event::kCoreDone:
-                on_core_done(ev.core);
+              case kCoreDone:
+                on_core_done(c);
                 break;
             }
-        }
+        });
 
         SimResult result;
-        result.offered_rate = rate_;
-        result.duration = cfg_.duration;
-        if (!backlog_checked_)
-            check_backlog();
-        result.saturated = saturated_ || in_flight_ > 0;
-        result.dropped = dropped_;
-        metrics_.finalize(result);
-        result.throughput =
-            static_cast<double>(result.completed) / cfg_.duration;
+        core_.finalize(result);
         return result;
     }
 
   private:
-    /** See TwoLevelSim::check_backlog: detect offered > capacity. */
-    void
-    check_backlog()
-    {
-        backlog_checked_ = true;
-        const size_t limit =
-            std::max<size_t>(1000, static_cast<size_t>(arrivals_ / 20));
-        if (in_flight_ > limit)
-            saturated_ = true;
-    }
-
-    uint32_t
-    alloc_job()
-    {
-        if (!free_.empty()) {
-            const uint32_t idx = free_.back();
-            free_.pop_back();
-            return idx;
-        }
-        jobs_.emplace_back();
-        return static_cast<uint32_t>(jobs_.size() - 1);
-    }
-
-    Job &job(uint32_t idx) { return jobs_[idx]; }
-
-    void
-    schedule(SimNanos t, Event::Kind kind, int core)
-    {
-        heap_.push(Event{t, kind, core, seq_++});
-    }
+    Job &job(uint32_t idx) { return core_.job(idx); }
 
     void
     on_arrival()
     {
-        if (in_flight_ >= cfg_.max_in_flight) {
-            ++dropped_;
-            saturated_ = true;
-        } else {
-            const uint32_t idx = alloc_job();
-            Job &j = job(idx);
-            const ServiceSample s = dist_.sample(rng_);
-            j.id = next_id_++;
-            j.arrival = now_;
-            j.demand = s.demand;
-            j.remaining = s.demand;
-            j.job_class = s.job_class;
-            ++in_flight_;
-            ++arrivals_;
+        const uint32_t idx = core_.try_admit();
+        if (idx != EngineCore::kNoJob) {
             if (cfg_.directpath) {
                 deliver(idx);
             } else {
@@ -149,9 +72,9 @@ class CaladanSim
                 maybe_start_io();
             }
         }
-        const SimNanos t = now_ + rng_.exponential(1.0 / rate_);
+        const SimNanos t = core_.next_arrival_after(core_.now());
         if (t < cfg_.duration)
-            schedule(t, Event::kArrival, -1);
+            core_.schedule(t, kArrival, -1);
     }
 
     void
@@ -160,7 +83,8 @@ class CaladanSim
         if (io_busy_ || io_q_.empty())
             return;
         io_busy_ = true;
-        schedule(now_ + cfg_.overheads.iokernel_cost, Event::kIoDone, -1);
+        core_.schedule(core_.now() + cfg_.overheads.iokernel_cost,
+                       kIoDone, -1);
     }
 
     void
@@ -179,7 +103,7 @@ class CaladanSim
     deliver(uint32_t idx)
     {
         const int c = static_cast<int>(
-            rng_.below(static_cast<uint64_t>(cfg_.num_cores)));
+            core_.rng().below(static_cast<uint64_t>(cfg_.num_cores)));
         Core &core = cores_[static_cast<size_t>(c)];
         core.runq.push_back(idx);
         if (core.running == kNone) {
@@ -217,8 +141,8 @@ class CaladanSim
             // Work stealing: probe random victims.
             for (int a = 0; a < cfg_.steal_attempts; ++a) {
                 extra += cfg_.overheads.steal_cost;
-                const int v = static_cast<int>(
-                    rng_.below(static_cast<uint64_t>(cfg_.num_cores)));
+                const int v = static_cast<int>(core_.rng().below(
+                    static_cast<uint64_t>(cfg_.num_cores)));
                 Core &victim = cores_[static_cast<size_t>(v)];
                 if (v != c && !victim.runq.empty()) {
                     idx = victim.runq.back(); // steal from the tail
@@ -233,9 +157,9 @@ class CaladanSim
         const Job &j = job(idx);
         const SimNanos packet_cost =
             cfg_.directpath ? cfg_.overheads.directpath_cost : 0;
-        schedule(now_ + extra + packet_cost + j.remaining +
-                     cfg_.overheads.response_cost,
-                 Event::kCoreDone, c);
+        core_.schedule(core_.now() + extra + packet_cost + j.remaining +
+                           cfg_.overheads.response_cost,
+                       kCoreDone, c);
     }
 
     void
@@ -244,37 +168,17 @@ class CaladanSim
         Core &core = cores_[static_cast<size_t>(c)];
         const uint32_t idx = core.running;
         core.running = kNone;
-        Job &j = job(idx);
-        j.remaining = 0;
-        metrics_.record(j, now_);
-        --in_flight_;
-        free_.push_back(idx);
+        job(idx).remaining = 0;
+        core_.complete(idx, core_.now());
         start_job(c, 0);
     }
 
     const CaladanConfig &cfg_;
-    const ServiceDist &dist_;
-    double rate_;
-    Rng rng_;
-
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        heap_;
-    uint64_t seq_ = 0;
-    SimNanos now_ = 0;
-
-    std::vector<Job> jobs_;
-    std::vector<uint32_t> free_;
-    uint64_t next_id_ = 0;
-    size_t in_flight_ = 0;
-    uint64_t arrivals_ = 0;
-    uint64_t dropped_ = 0;
-    bool saturated_ = false;
-    bool backlog_checked_ = false;
+    EngineCore core_;
 
     std::deque<uint32_t> io_q_;
     bool io_busy_ = false;
     std::vector<Core> cores_;
-    MetricsCollector metrics_;
 };
 
 } // namespace

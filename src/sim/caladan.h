@@ -32,6 +32,10 @@ struct CaladanConfig
     double warmup = 0.1;
     uint64_t seed = 1;
     size_t max_in_flight = 1u << 20;
+
+    /** Stop once saturation is detected; see TwoLevelConfig for the
+     *  contract (the `saturated` flag is unaffected). */
+    bool stop_when_saturated = false;
 };
 
 /** Run one Caladan-style simulation. */

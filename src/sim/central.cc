@@ -1,11 +1,11 @@
 #include "sim/central.h"
 
 #include <deque>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "sim/event_core.h"
 
 namespace tq::sim {
 
@@ -13,21 +13,7 @@ namespace {
 
 constexpr uint32_t kNone = ~0u;
 
-struct Event
-{
-    SimNanos time;
-    enum Kind : uint8_t { kArrival, kOpDone, kCoreDone } kind;
-    int core;
-    uint64_t seq;
-
-    bool
-    operator>(const Event &other) const
-    {
-        if (time != other.time)
-            return time > other.time;
-        return seq > other.seq;
-    }
-};
+enum EventKind : uint32_t { kArrival, kOpDone, kCoreDone };
 
 /** A unit of serial dispatcher work. */
 struct DispatchOp
@@ -53,55 +39,33 @@ class CentralSim
     CentralSim(const CentralConfig &cfg, const ServiceDist &dist,
                double rate)
         : cfg_(cfg),
-          dist_(dist),
-          rate_(rate),
-          rng_(cfg.seed),
-          cores_(static_cast<size_t>(cfg.num_cores)),
-          metrics_(dist.class_names(), cfg.warmup)
+          core_(dist, rate, cfg.seed, cfg.duration, cfg.max_in_flight,
+                cfg.stop_when_saturated, cfg.warmup),
+          cores_(static_cast<size_t>(cfg.num_cores))
     {
         TQ_CHECK(cfg.num_cores > 0);
-        TQ_CHECK(rate > 0);
     }
 
     SimResult
     run()
     {
-        schedule(rng_.exponential(1.0 / rate_), Event::kArrival, -1);
-        const SimNanos hard_stop = cfg_.duration * 3;
-
-        while (!heap_.empty()) {
-            const Event ev = heap_.top();
-            heap_.pop();
-            now_ = ev.time;
-            if (now_ > hard_stop) {
-                saturated_ = true;
-                break;
-            }
-            if (!backlog_checked_ && now_ >= cfg_.duration)
-                check_backlog();
-            switch (ev.kind) {
-              case Event::kArrival:
+        core_.schedule(core_.next_arrival_after(0), kArrival, -1);
+        core_.drive([this](uint32_t kind, int c) {
+            switch (kind) {
+              case kArrival:
                 on_arrival();
                 break;
-              case Event::kOpDone:
+              case kOpDone:
                 on_op_done();
                 break;
-              case Event::kCoreDone:
-                on_core_done(ev.core);
+              case kCoreDone:
+                on_core_done(c);
                 break;
             }
-        }
+        });
 
         SimResult result;
-        result.offered_rate = rate_;
-        result.duration = cfg_.duration;
-        if (!backlog_checked_)
-            check_backlog();
-        result.saturated = saturated_ || in_flight_ > 0;
-        result.dropped = dropped_;
-        metrics_.finalize(result);
-        result.throughput =
-            static_cast<double>(result.completed) / cfg_.duration;
+        core_.finalize(result);
         double intervals = 0;
         uint64_t grants = 0;
         for (const auto &core : cores_) {
@@ -114,61 +78,19 @@ class CentralSim
     }
 
   private:
-    /** See TwoLevelSim::check_backlog: detect offered > capacity. */
-    void
-    check_backlog()
-    {
-        backlog_checked_ = true;
-        const size_t limit =
-            std::max<size_t>(1000, static_cast<size_t>(arrivals_ / 20));
-        if (in_flight_ > limit)
-            saturated_ = true;
-    }
-
-    uint32_t
-    alloc_job()
-    {
-        if (!free_.empty()) {
-            const uint32_t idx = free_.back();
-            free_.pop_back();
-            return idx;
-        }
-        jobs_.emplace_back();
-        return static_cast<uint32_t>(jobs_.size() - 1);
-    }
-
-    Job &job(uint32_t idx) { return jobs_[idx]; }
-
-    void
-    schedule(SimNanos t, Event::Kind kind, int core)
-    {
-        heap_.push(Event{t, kind, core, seq_++});
-    }
+    Job &job(uint32_t idx) { return core_.job(idx); }
 
     void
     on_arrival()
     {
-        if (in_flight_ >= cfg_.max_in_flight) {
-            ++dropped_;
-            saturated_ = true;
-        } else {
-            const uint32_t idx = alloc_job();
-            Job &j = job(idx);
-            const ServiceSample s = dist_.sample(rng_);
-            j.id = next_id_++;
-            j.arrival = now_;
-            j.demand = s.demand;
-            j.remaining = s.demand;
-            j.job_class = s.job_class;
-            j.serviced_quanta = 0;
-            ++in_flight_;
-            ++arrivals_;
+        const uint32_t idx = core_.try_admit();
+        if (idx != EngineCore::kNoJob) {
             ops_.push_back(DispatchOp{DispatchOp::kAdmit, idx, -1});
             maybe_start_op();
         }
-        const SimNanos t = now_ + rng_.exponential(1.0 / rate_);
+        const SimNanos t = core_.next_arrival_after(core_.now());
         if (t < cfg_.duration)
-            schedule(t, Event::kArrival, -1);
+            core_.schedule(t, kArrival, -1);
     }
 
     void
@@ -177,7 +99,8 @@ class CentralSim
         if (op_busy_ || ops_.empty())
             return;
         op_busy_ = true;
-        schedule(now_ + cfg_.overheads.sched_op_cost, Event::kOpDone, -1);
+        core_.schedule(core_.now() + cfg_.overheads.sched_op_cost,
+                       kOpDone, -1);
     }
 
     void
@@ -200,9 +123,8 @@ class CentralSim
             Job &j = job(idx);
             j.remaining -= core.slice;
             if (j.remaining <= 1e-9) {
-                metrics_.record(j, now_ + cfg_.overheads.response_cost);
-                --in_flight_;
-                free_.push_back(idx);
+                core_.complete(idx,
+                               core_.now() + cfg_.overheads.response_cost);
             } else {
                 ++j.serviced_quanta;
                 runq_.push_back(idx); // PS rotation of the global queue
@@ -234,20 +156,21 @@ class CentralSim
                 (!cfg_.overhead_on_preemption_only || preempted)
                     ? cfg_.overheads.switch_overhead
                     : 0;
+            const SimNanos now = core_.now();
             if (core.last_grant >= 0) {
                 // Effective-quantum metric (Figure 16): grant spacing net
                 // of the constant per-slice costs (interrupt overhead and
                 // the dispatcher's own reaction time for one op). What
                 // remains is the stretch caused by dispatcher *queueing*,
                 // i.e. the scalability limit under study.
-                core.grant_intervals += now_ - core.last_grant -
+                core.grant_intervals += now - core.last_grant -
                                         core.last_overhead -
                                         cfg_.overheads.sched_op_cost;
                 ++core.grants;
             }
-            core.last_grant = now_;
+            core.last_grant = now;
             core.last_overhead = overhead;
-            schedule(now_ + slice + overhead, Event::kCoreDone, c);
+            core_.schedule(now + slice + overhead, kCoreDone, c);
         }
     }
 
@@ -259,29 +182,12 @@ class CentralSim
     }
 
     const CentralConfig &cfg_;
-    const ServiceDist &dist_;
-    double rate_;
-    Rng rng_;
-
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        heap_;
-    uint64_t seq_ = 0;
-    SimNanos now_ = 0;
-
-    std::vector<Job> jobs_;
-    std::vector<uint32_t> free_;
-    uint64_t next_id_ = 0;
-    size_t in_flight_ = 0;
-    uint64_t arrivals_ = 0;
-    uint64_t dropped_ = 0;
-    bool saturated_ = false;
-    bool backlog_checked_ = false;
+    EngineCore core_;
 
     std::deque<DispatchOp> ops_;
     bool op_busy_ = false;
     std::deque<uint32_t> runq_;
     std::vector<Core> cores_;
-    MetricsCollector metrics_;
 };
 
 } // namespace

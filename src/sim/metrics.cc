@@ -24,6 +24,19 @@ MetricsCollector::MetricsCollector(std::vector<std::string> class_names,
 }
 
 void
+MetricsCollector::reserve(size_t expected_completions)
+{
+    all_slowdown_.reserve(expected_completions);
+    // The class split is workload-dependent; an even split is a decent
+    // hint and push_back growth absorbs any skew.
+    const size_t per_class = expected_completions / names_.size() + 1;
+    for (size_t c = 0; c < names_.size(); ++c) {
+        sojourn_[c].reserve(per_class);
+        slowdown_[c].reserve(per_class);
+    }
+}
+
+void
 MetricsCollector::record(const Job &job, SimNanos finish)
 {
     TQ_CHECK(job.job_class >= 0 &&
@@ -42,12 +55,14 @@ MetricsCollector::finalize(SimResult &result)
 {
     result.completed = completed_;
     result.classes.clear();
+    static constexpr double kSojournQs[] = {0.999, 0.99};
     for (size_t c = 0; c < names_.size(); ++c) {
         ClassStats stats;
         stats.name = names_[c];
         stats.completed = sojourn_[c].count();
-        stats.p999_sojourn = sojourn_[c].quantile(0.999, warmup_);
-        stats.p99_sojourn = sojourn_[c].quantile(0.99, warmup_);
+        const auto qs = sojourn_[c].quantiles(kSojournQs, warmup_);
+        stats.p999_sojourn = qs[0];
+        stats.p99_sojourn = qs[1];
         stats.mean_sojourn = sojourn_[c].mean(warmup_);
         stats.p999_slowdown = slowdown_[c].quantile(0.999, warmup_);
         stats.mean_slowdown = slowdown_[c].mean(warmup_);

@@ -63,6 +63,12 @@ class MetricsCollector
     explicit MetricsCollector(std::vector<std::string> class_names,
                               double warmup_fraction = 0.1);
 
+    /**
+     * Pre-size the sample stores for @p expected_completions total
+     * completions (allocation hint; see PercentileTracker::reserve).
+     */
+    void reserve(size_t expected_completions);
+
     /** Record a completion at time @p finish. */
     void record(const Job &job, SimNanos finish);
 

@@ -1,21 +1,84 @@
 #include "sim/sweep.h"
 
+#include <atomic>
+#include <map>
+#include <thread>
+
 #include "common/check.h"
 
 namespace tq::sim {
 
-std::vector<SweepPoint>
-sweep(const RunFn &fn, const std::vector<double> &rates)
+void
+parallel_run(size_t n, int threads, const std::function<void(size_t)> &job)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(rates.size());
-    for (double r : rates) {
-        SweepPoint p;
-        p.rate = r;
-        p.result = fn(r);
-        points.push_back(std::move(p));
+    if (threads > static_cast<int>(n))
+        threads = static_cast<int>(n);
+    if (threads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            job(i);
+        return;
     }
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&next, n, &job] {
+            for (;;) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                job(i);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+std::vector<SweepPoint>
+sweep(const RunFn &fn, const std::vector<double> &rates,
+      const SweepOptions &opts)
+{
+    std::vector<SweepPoint> points(rates.size());
+    parallel_run(rates.size(), opts.threads, [&](size_t i) {
+        points[i].rate = rates[i];
+        points[i].result = fn(rates[i]);
+    });
     return points;
+}
+
+std::vector<SweepPoint>
+sweep_seeded(const SeededRunFn &fn, const std::vector<double> &rates,
+             uint64_t base_seed, const SweepOptions &opts)
+{
+    std::vector<SweepPoint> points(rates.size());
+#ifndef NDEBUG
+    // The practical "streams do not overlap" check: every point must get
+    // its own seed (splitmix64 is bijective, so this cannot fire unless
+    // derive_seed regresses).
+    for (size_t i = 0; i < rates.size(); ++i)
+        for (size_t j = i + 1; j < rates.size(); ++j)
+            TQ_DCHECK(derive_seed(base_seed, i) !=
+                      derive_seed(base_seed, j));
+#endif
+    parallel_run(rates.size(), opts.threads, [&](size_t i) {
+        points[i].rate = rates[i];
+        points[i].seed = derive_seed(base_seed, i);
+        points[i].result = fn(rates[i], points[i].seed);
+    });
+    return points;
+}
+
+uint64_t
+derive_seed(uint64_t base, uint64_t index)
+{
+    // splitmix64: the index-th output of the stream whose state is
+    // `base`. One mix per derivation (no O(index) walk).
+    uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
 }
 
 std::vector<double>
@@ -32,17 +95,31 @@ rate_grid(double lo, double hi, int points)
 
 double
 max_rate_under_slo(const RunFn &fn, const SloFn &slo, double lo, double hi,
-                   int iters)
+                   int iters, const std::vector<SweepPoint> *known)
 {
     TQ_CHECK(lo > 0 && hi > lo);
-    if (!slo(fn(lo)))
+    // Memo of every rate evaluated during this search, warm-started from
+    // the caller's sweep points: the bench pattern "sweep a grid, then
+    // bisect the same configuration" re-evaluates the endpoints for
+    // free, so the bisection costs exactly `iters` simulations.
+    std::map<double, bool> memo;
+    if (known)
+        for (const SweepPoint &p : *known)
+            memo.emplace(p.rate, slo(p.result));
+    const auto eval = [&](double r) {
+        const auto it = memo.find(r);
+        if (it != memo.end())
+            return it->second;
+        return memo.emplace(r, slo(fn(r))).first->second;
+    };
+    if (!eval(lo))
         return 0;
-    if (slo(fn(hi)))
+    if (eval(hi))
         return hi;
     double good = lo, bad = hi;
     for (int i = 0; i < iters; ++i) {
         const double mid = 0.5 * (good + bad);
-        if (slo(fn(mid)))
+        if (eval(mid))
             good = mid;
         else
             bad = mid;

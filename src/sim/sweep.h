@@ -6,10 +6,19 @@
  * and report "maximum load under an SLO" capacities (Figures 2, 5-12).
  * These helpers run a user-supplied simulation functor across a rate
  * grid and binary-search the highest rate that still meets an SLO.
+ *
+ * Sweep points are independent simulations, so `sweep()` (and the
+ * benches built on it) can fan the grid out over a thread pool via
+ * SweepOptions::threads. Parallel execution is deterministic: point i
+ * always runs fn(rates[i]) with the same inputs as the serial loop and
+ * lands in slot i of the returned vector, so serial and parallel sweeps
+ * produce bitwise-identical results (see DESIGN.md section 4e for the
+ * determinism contract and per-point seed derivation).
  */
 #ifndef TQ_SIM_SWEEP_H
 #define TQ_SIM_SWEEP_H
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -20,6 +29,10 @@ namespace tq::sim {
 /** Simulation functor: offered rate (req/ns) -> result. */
 using RunFn = std::function<SimResult(double rate)>;
 
+/** Seeded simulation functor for `sweep_seeded`. */
+using SeededRunFn =
+    std::function<SimResult(double rate, uint64_t seed)>;
+
 /** SLO predicate: true when the result meets the objective. */
 using SloFn = std::function<bool(const SimResult &)>;
 
@@ -27,23 +40,88 @@ using SloFn = std::function<bool(const SimResult &)>;
 struct SweepPoint
 {
     double rate = 0; ///< offered load, req/ns
+    uint64_t seed = 0; ///< per-point RNG seed (sweep_seeded only)
     SimResult result;
 };
 
-/** Run @p fn at each rate of @p rates (skips nothing, keeps order). */
-std::vector<SweepPoint> sweep(const RunFn &fn,
-                              const std::vector<double> &rates);
+/** Execution options for the sweep drivers. */
+struct SweepOptions
+{
+    /**
+     * Worker threads to spread points over; 1 (the default) runs the
+     * classic serial loop on the calling thread. Each point is one
+     * independent simulation, so the only requirement on the functor is
+     * that concurrent calls do not share mutable state (build the
+     * config/dist per call or treat them as read-only, as every bench
+     * here does).
+     */
+    int threads = 1;
+};
 
-/** Evenly spaced rate grid [lo, hi] with @p points entries. */
+/**
+ * Run @p job(i) for every i in [0, n), spread over @p threads workers.
+ *
+ * Work is claimed dynamically (atomic counter), so uneven point costs —
+ * saturated runs take longer than stable ones — still balance. With
+ * threads <= 1 this is a plain loop on the calling thread. Joining the
+ * pool orders every job's writes before the return (happens-before), so
+ * results written into distinct pre-sized slots need no locks. A job
+ * index is claimed by exactly one worker; out-of-range claims are
+ * discarded. Fatal errors inside @p job abort the process as they do
+ * serially.
+ */
+void parallel_run(size_t n, int threads,
+                  const std::function<void(size_t)> &job);
+
+/**
+ * Run @p fn at each rate of @p rates: every point, in grid order, no
+ * dedup. With opts.threads > 1 the points run concurrently; the result
+ * vector is identical to the serial sweep's, point for point.
+ */
+std::vector<SweepPoint> sweep(const RunFn &fn,
+                              const std::vector<double> &rates,
+                              const SweepOptions &opts = {});
+
+/** Evenly spaced rate grid [lo, hi] with @p points entries, ascending. */
 std::vector<double> rate_grid(double lo, double hi, int points);
+
+/**
+ * As `sweep()`, but derives an independent RNG seed for each point from
+ * @p base_seed (splitmix64 stream, see derive_seed) and passes it to
+ * @p fn; the seed used is recorded in SweepPoint::seed. Use this when a
+ * bench wants replicated points to differ in randomness while staying
+ * reproducible from one base seed.
+ */
+std::vector<SweepPoint> sweep_seeded(const SeededRunFn &fn,
+                                     const std::vector<double> &rates,
+                                     uint64_t base_seed,
+                                     const SweepOptions &opts = {});
+
+/**
+ * The @p index-th output of the splitmix64 stream seeded with @p base:
+ * statistically independent 64-bit seeds for per-point generators.
+ * splitmix64 is a bijection per step, so distinct indexes give distinct
+ * seeds and the xoshiro256** states expanded from them do not collide;
+ * `sweep_seeded` additionally asserts pairwise distinctness in debug
+ * builds as the practical no-stream-overlap check.
+ */
+uint64_t derive_seed(uint64_t base, uint64_t index);
 
 /**
  * Largest rate in [lo, hi] whose result satisfies @p slo, found by
  * bisection with @p iters refinement steps. Returns 0 when even `lo`
  * misses the objective.
+ *
+ * Every evaluated rate is memoized for the duration of the call, and
+ * @p known (typically the surrounding sweep's grid points, e.g. when a
+ * bench prints a latency table and then searches the same configuration
+ * for capacity) pre-seeds the memo: if `lo`/`hi` appear in @p known the
+ * endpoint runs are skipped and the search costs exactly `iters`
+ * simulations instead of `iters + 2`.
  */
 double max_rate_under_slo(const RunFn &fn, const SloFn &slo, double lo,
-                          double hi, int iters = 12);
+                          double hi, int iters = 12,
+                          const std::vector<SweepPoint> *known = nullptr);
 
 /** SLO: 99.9% slowdown across all classes stays at or below @p limit. */
 SloFn slowdown_slo(double limit);

@@ -1,11 +1,11 @@
 #include "sim/two_level.h"
 
 #include <deque>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "sim/event_core.h"
 
 namespace tq::sim {
 
@@ -13,22 +13,7 @@ namespace {
 
 constexpr uint32_t kNone = ~0u;
 
-/** Heap event. Smaller time first; seq breaks ties deterministically. */
-struct Event
-{
-    SimNanos time;
-    enum Kind : uint8_t { kArrival, kDispatchDone, kCoreDone } kind;
-    int core;
-    uint64_t seq;
-
-    bool
-    operator>(const Event &other) const
-    {
-        if (time != other.time)
-            return time > other.time;
-        return seq > other.seq;
-    }
-};
+enum EventKind : uint32_t { kArrival, kDispatchDone, kCoreDone };
 
 /** Per-core scheduler state. */
 struct Core
@@ -58,18 +43,15 @@ class TwoLevelSim
     TwoLevelSim(const TwoLevelConfig &cfg, const ServiceDist &dist,
                 double rate)
         : cfg_(cfg),
-          dist_(dist),
-          rate_(rate),
-          rng_(cfg.seed),
+          core_(dist, rate, cfg.seed, cfg.duration, cfg.max_in_flight,
+                cfg.stop_when_saturated, cfg.warmup),
           cores_(static_cast<size_t>(cfg.num_cores)),
           assigned_(static_cast<size_t>(cfg.num_cores), 0),
           snap_finished_(static_cast<size_t>(cfg.num_cores), 0),
-          snap_quanta_(static_cast<size_t>(cfg.num_cores), 0),
-          metrics_(dist.class_names(), cfg.warmup)
+          snap_quanta_(static_cast<size_t>(cfg.num_cores), 0)
     {
         TQ_CHECK(cfg.num_cores > 0);
         TQ_CHECK(cfg.num_dispatchers > 0);
-        TQ_CHECK(rate > 0);
         dispatchers_.resize(static_cast<size_t>(cfg.num_dispatchers));
         if (!cfg_.class_quantum.empty())
             TQ_CHECK(cfg_.class_quantum.size() ==
@@ -79,42 +61,23 @@ class TwoLevelSim
     SimResult
     run()
     {
-        schedule(next_arrival_time(0), Event::kArrival, -1);
-        const SimNanos hard_stop = cfg_.duration * 3;
-
-        while (!heap_.empty()) {
-            const Event ev = heap_.top();
-            heap_.pop();
-            now_ = ev.time;
-            if (now_ > hard_stop) {
-                saturated_ = true;
-                break;
-            }
-            if (!backlog_checked_ && now_ >= cfg_.duration)
-                check_backlog();
-            switch (ev.kind) {
-              case Event::kArrival:
+        core_.schedule(core_.next_arrival_after(0), kArrival, -1);
+        core_.drive([this](uint32_t kind, int c) {
+            switch (kind) {
+              case kArrival:
                 on_arrival();
                 break;
-              case Event::kDispatchDone:
-                on_dispatch_done(ev.core);
+              case kDispatchDone:
+                on_dispatch_done(c);
                 break;
-              case Event::kCoreDone:
-                on_core_done(ev.core);
+              case kCoreDone:
+                on_core_done(c);
                 break;
             }
-        }
+        });
 
         SimResult result;
-        result.offered_rate = rate_;
-        result.duration = cfg_.duration;
-        if (!backlog_checked_)
-            check_backlog();
-        result.saturated = saturated_ || in_flight_ > 0;
-        result.dropped = dropped_;
-        metrics_.finalize(result);
-        result.throughput =
-            static_cast<double>(result.completed) / cfg_.duration;
+        core_.finalize(result);
         double intervals = 0;
         uint64_t grants = 0;
         for (const auto &core : cores_) {
@@ -127,85 +90,25 @@ class TwoLevelSim
     }
 
   private:
-    /**
-     * Stability check at the end of the arrival window: a backlog much
-     * larger than any stable queueing state means the offered load
-     * exceeded capacity, even if the queue drains during the grace
-     * period afterwards.
-     */
-    void
-    check_backlog()
-    {
-        backlog_checked_ = true;
-        const size_t limit =
-            std::max<size_t>(1000, static_cast<size_t>(arrivals_ / 20));
-        if (in_flight_ > limit)
-            saturated_ = true;
-    }
-
-    // ------------------------------------------------------ job slab --
-    uint32_t
-    alloc_job()
-    {
-        if (!free_.empty()) {
-            const uint32_t idx = free_.back();
-            free_.pop_back();
-            return idx;
-        }
-        jobs_.emplace_back();
-        return static_cast<uint32_t>(jobs_.size() - 1);
-    }
-
-    void
-    free_job(uint32_t idx)
-    {
-        free_.push_back(idx);
-    }
-
-    Job &job(uint32_t idx) { return jobs_[idx]; }
-
-    // ------------------------------------------------------ schedule --
-    void
-    schedule(SimNanos t, Event::Kind kind, int core)
-    {
-        heap_.push(Event{t, kind, core, seq_++});
-    }
-
-    SimNanos
-    next_arrival_time(SimNanos from)
-    {
-        return from + rng_.exponential(1.0 / rate_);
-    }
+    Job &job(uint32_t idx) { return core_.job(idx); }
 
     // ------------------------------------------------------- arrivals --
     void
     on_arrival()
     {
-        if (in_flight_ >= cfg_.max_in_flight) {
-            // Saturation guard: count the drop, stop admitting.
-            ++dropped_;
-            saturated_ = true;
-        } else {
-            const uint32_t idx = alloc_job();
-            Job &j = job(idx);
-            const ServiceSample s = dist_.sample(rng_);
-            j.id = next_id_++;
-            j.arrival = now_;
-            j.demand = s.demand;
-            j.remaining = s.demand * (1.0 + cfg_.probe_overhead_frac);
-            j.job_class = s.job_class;
-            j.serviced_quanta = 0;
-            ++in_flight_;
-            ++arrivals_;
+        const uint32_t idx =
+            core_.try_admit(1.0 + cfg_.probe_overhead_frac);
+        if (idx != EngineCore::kNoJob) {
             // Spray arrivals round-robin over the dispatcher cores.
             const int d = static_cast<int>(
-                arrivals_ % static_cast<uint64_t>(cfg_.num_dispatchers));
+                core_.arrivals() %
+                static_cast<uint64_t>(cfg_.num_dispatchers));
             dispatchers_[static_cast<size_t>(d)].q.push_back(idx);
             maybe_start_dispatch(d);
         }
-        const SimNanos t = next_arrival_time(now_);
+        const SimNanos t = core_.next_arrival_after(core_.now());
         if (t < cfg_.duration)
-            schedule(t, Event::kArrival, -1);
+            core_.schedule(t, kArrival, -1);
     }
 
     void
@@ -217,8 +120,8 @@ class TwoLevelSim
         disp.busy = true;
         disp.in_hand = disp.q.front();
         disp.q.pop_front();
-        schedule(now_ + cfg_.overheads.dispatch_cost, Event::kDispatchDone,
-                 d);
+        core_.schedule(core_.now() + cfg_.overheads.dispatch_cost,
+                       kDispatchDone, d);
     }
 
     void
@@ -251,9 +154,9 @@ class TwoLevelSim
     refresh_stats_if_due()
     {
         if (cfg_.stats_refresh_period > 0 &&
-            now_ - last_refresh_ < cfg_.stats_refresh_period)
+            core_.now() - last_refresh_ < cfg_.stats_refresh_period)
             return;
-        last_refresh_ = now_;
+        last_refresh_ = core_.now();
         for (int w = 0; w < cfg_.num_cores; ++w) {
             snap_finished_[static_cast<size_t>(w)] =
                 cores_[static_cast<size_t>(w)].finished;
@@ -273,22 +176,23 @@ class TwoLevelSim
     pick_core()
     {
         refresh_stats_if_due();
+        Rng &rng = core_.rng();
         const int n = cfg_.num_cores;
         switch (cfg_.lb) {
           case LbPolicy::Random:
-            return static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+            return static_cast<int>(rng.below(static_cast<uint64_t>(n)));
           case LbPolicy::PowerOfTwo: {
             const int a =
-                static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+                static_cast<int>(rng.below(static_cast<uint64_t>(n)));
             int b = static_cast<int>(
-                rng_.below(static_cast<uint64_t>(n - 1)));
+                rng.below(static_cast<uint64_t>(n - 1)));
             if (b >= a)
                 ++b;
             const long qa = viewed_len(a);
             const long qb = viewed_len(b);
             if (qa != qb)
                 return qa < qb ? a : b;
-            return rng_.bernoulli(0.5) ? a : b;
+            return rng.bernoulli(0.5) ? a : b;
           }
           case LbPolicy::JsqRandom:
           case LbPolicy::JsqMsq: {
@@ -303,7 +207,7 @@ class TwoLevelSim
             if (ties_.size() == 1)
                 return ties_[0];
             if (cfg_.lb == LbPolicy::JsqRandom)
-                return ties_[rng_.below(ties_.size())];
+                return ties_[rng.below(ties_.size())];
             // MSQ: the core whose current jobs have received the most
             // quanta is expected to finish them soonest (section 3.2).
             int best = ties_[0];
@@ -378,7 +282,7 @@ class TwoLevelSim
         // net of the constant per-slice mechanism overhead.
         core.grant_intervals += slice;
         ++core.grants;
-        schedule(now_ + busy, Event::kCoreDone, c);
+        core_.schedule(core_.now() + busy, kCoreDone, c);
     }
 
     void
@@ -395,9 +299,8 @@ class TwoLevelSim
             --core.jobs;
             ++core.finished;
             core.quanta_sum -= j.serviced_quanta;
-            metrics_.record(j, now_ + cfg_.overheads.response_cost);
-            --in_flight_;
-            free_job(idx);
+            core_.complete(idx,
+                           core_.now() + cfg_.overheads.response_cost);
         } else {
             ++j.serviced_quanta;
             ++core.quanta_sum;
@@ -407,23 +310,7 @@ class TwoLevelSim
     }
 
     const TwoLevelConfig &cfg_;
-    const ServiceDist &dist_;
-    double rate_;
-    Rng rng_;
-
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        heap_;
-    uint64_t seq_ = 0;
-    SimNanos now_ = 0;
-
-    std::vector<Job> jobs_;
-    std::vector<uint32_t> free_;
-    uint64_t next_id_ = 0;
-    size_t in_flight_ = 0;
-    uint64_t arrivals_ = 0;
-    uint64_t dropped_ = 0;
-    bool saturated_ = false;
-    bool backlog_checked_ = false;
+    EngineCore core_;
 
     std::vector<Dispatcher> dispatchers_;
     std::vector<Core> cores_;
@@ -432,7 +319,6 @@ class TwoLevelSim
     std::vector<uint64_t> snap_quanta_;
     SimNanos last_refresh_ = -1;
     std::vector<int> ties_;
-    MetricsCollector metrics_;
 };
 
 } // namespace

@@ -88,6 +88,18 @@ struct TwoLevelConfig
     double warmup = 0.1;         ///< discarded sample prefix
     uint64_t seed = 1;
     size_t max_in_flight = 1u << 20; ///< saturation guard
+
+    /**
+     * End the run as soon as saturation is detected (in-flight cap hit,
+     * or a diverged backlog at the end of the arrival window) instead of
+     * draining the queues. The result's `saturated` flag is unaffected —
+     * any run this cuts short would have reported saturated anyway — but
+     * its latency percentiles are truncated, so only enable this where
+     * saturated results are consumed as a boolean: SLO bisections and
+     * capacity tables that print "sat". Keep it off when metrics of
+     * overloaded runs matter (e.g. Figure 16's effective quantum).
+     */
+    bool stop_when_saturated = false;
 };
 
 /**

@@ -191,6 +191,25 @@ TEST(PercentileTracker, EmptyReturnsZero)
     EXPECT_DOUBLE_EQ(t.mean(), 0.0);
 }
 
+TEST(PercentileTracker, BatchQuantilesMatchSingleCalls)
+{
+    Rng rng(11);
+    PercentileTracker t;
+    t.reserve(4000);
+    for (int i = 0; i < 4000; ++i)
+        t.add(rng.exponential(3.0));
+    const double qs[] = {0.0, 0.5, 0.99, 0.999, 1.0};
+    const auto batch = t.quantiles(qs);
+    const auto warm = t.quantiles(qs, 0.1);
+    ASSERT_EQ(batch.size(), std::size(qs));
+    for (size_t i = 0; i < std::size(qs); ++i) {
+        EXPECT_DOUBLE_EQ(batch[i], t.quantile(qs[i]));
+        EXPECT_DOUBLE_EQ(warm[i], t.quantile(qs[i], 0.1));
+    }
+    EXPECT_EQ(PercentileTracker().quantiles(qs),
+              std::vector<double>(std::size(qs), 0.0));
+}
+
 TEST(PercentileTracker, MatchesSortOracleOnRandomData)
 {
     Rng rng(9);

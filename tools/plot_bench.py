@@ -12,14 +12,17 @@ This script turns one bench's stdout (or a saved file) into a PNG per
 table, with log-scaled y axes for latency series. matplotlib is the only
 dependency; the benches themselves never need it.
 
-A .json input is treated as a recorded dispatcher-calibration run
-(BENCH_dispatch.json): its dispatcher_throughput rows become a grouped
-before/after Mrps bar chart plus a speedup series.
+A .json input is treated as a recorded calibration run and dispatched
+on its keys: dispatcher_throughput rows (BENCH_dispatch.json) become a
+grouped before/after Mrps bar chart plus a speedup series;
+event_queue_hold rows (BENCH_sim.json) become legacy-vs-new events/sec
+bars over queue size plus the per-bench figure-suite speedup chart.
 
 Usage:
     build/bench/fig01_quantum_slowdown | tools/plot_bench.py -o fig01.png
     tools/plot_bench.py bench_output_fig07.txt -o fig07.png
     tools/plot_bench.py BENCH_dispatch.json -o dispatch.png
+    tools/plot_bench.py BENCH_sim.json -o sim_core.png
 """
 
 import argparse
@@ -106,6 +109,58 @@ def plot_dispatch_json(path, output):
     print(f"wrote {output}")
 
 
+def plot_sim_json(path, output):
+    """Render BENCH_sim.json: event-queue hold bars + suite speedups."""
+    with open(path) as f:
+        data = json.load(f)
+    hold = data["event_queue_hold"]
+    suite = data.get("figure_suite", {}).get("rows", [])
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    ncols = 2 if suite else 1
+    fig, axes = plt.subplots(1, ncols, figsize=(6 * ncols, 4.5),
+                             squeeze=False)
+    ax = axes[0][0]
+    xs = range(len(hold))
+    width = 0.38
+    ax.bar([x - width / 2 for x in xs], [r["legacy_meps"] for r in hold],
+           width, label="std::priority_queue (before)")
+    ax.bar([x + width / 2 for x in xs], [r["new_meps"] for r in hold],
+           width, label="EventQueue (after)")
+    for x, r in zip(xs, hold):
+        ax.annotate(f'{r["speedup"]:.2f}x', (x + width / 2, r["new_meps"]),
+                    ha="center", va="bottom", fontsize=8)
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels([f'{r["queue_size"]:,}' for r in hold])
+    ax.set_xlabel("steady queue size (events)")
+    ax.set_ylabel("hold-model Mevents/s")
+    ax.set_title("event queue: old vs new machinery", fontsize=9)
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+
+    if suite:
+        ax2 = axes[0][1]
+        ys = range(len(suite))
+        ax2.barh(list(ys), [r["speedup"] for r in suite])
+        ax2.set_yticks(list(ys))
+        ax2.set_yticklabels([r["bench"] for r in suite], fontsize=7)
+        ax2.invert_yaxis()
+        ax2.axvline(1.0, linestyle="--", alpha=0.5)
+        ax2.set_xlabel("wall-clock speedup vs seed (x)")
+        cpus = data.get("machine", {}).get("cpus")
+        host = f" ({cpus}-CPU host)" if cpus else ""
+        ax2.set_title(f"figure-suite wall clock{host}", fontsize=9)
+        ax2.grid(True, axis="x", alpha=0.3)
+
+    fig.tight_layout()
+    fig.savefig(output, dpi=130)
+    print(f"wrote {output}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("input", nargs="?", help="bench output file (default stdin)")
@@ -113,7 +168,12 @@ def main():
     args = ap.parse_args()
 
     if args.input and args.input.endswith(".json"):
-        plot_dispatch_json(args.input, args.output)
+        with open(args.input) as f:
+            keys = json.load(f)
+        if "event_queue_hold" in keys:
+            plot_sim_json(args.input, args.output)
+        else:
+            plot_dispatch_json(args.input, args.output)
         return
 
     text = open(args.input).readlines() if args.input else sys.stdin.readlines()
