@@ -12,14 +12,18 @@
  *  - scalar: the classic per-request path — one RX pop, one RDTSC
  *    arrival stamp, one JSQ+MSQ scan over the shared worker counter
  *    lines, one worker-ring push per request;
- *  - batched: the current dispatcher_main() path — one RX pop_n per
+ *  - batched: the PR 3 dispatcher_main() path — one RX pop_n per
  *    batch, one arrival stamp and one counter-line refresh per batch,
- *    then per-request work against the dispatcher-local view only.
+ *    then per-request scans over a dispatcher-local vector view;
+ *  - packed: the current dispatcher_main() path — the batched shape,
+ *    with the per-request scan replaced by DispatchView's packed
+ *    uint32 lanes and adaptive pick (one-line scan at <= 16 workers,
+ *    SIMD horizontal min above; dispatch_view.h).
  *
- * Requests are staged into the RX queue in untimed rounds so both modes
+ * Requests are staged into the RX queue in untimed rounds so all modes
  * measure dispatch work against a backlogged RX — the regime where
  * dispatcher capacity is the binding constraint (Fig. 2/16). The output
- * is a TSV table plot_bench.py can render, and the batched ns/job at 16
+ * is a TSV table plot_bench.py can render, and the packed ns/job at 16
  * workers is the calibration input for sim::Overheads::dispatch_cost
  * (recorded in BENCH_dispatch.json).
  */
@@ -32,6 +36,7 @@
 #include "common/cycles.h"
 #include "conc/mpmc_queue.h"
 #include "conc/spsc_ring.h"
+#include "runtime/dispatch_view.h"
 #include "runtime/request.h"
 #include "runtime/worker_stats.h"
 
@@ -183,30 +188,77 @@ batched_ns_per_job(int workers)
     return cycles_to_ns(timed) / kIters;
 }
 
+double
+packed_ns_per_job(int workers)
+{
+    Cluster c(workers);
+    runtime::DispatchView view(static_cast<size_t>(workers));
+    runtime::Request batch[kBatch];
+    runtime::Request scratch;
+    Cycles timed = 0;
+    int done = 0;
+    while (done < kIters) {
+        const int round = std::min(kRound, kIters - done);
+        stage(c, round, static_cast<uint64_t>(done));
+        const Cycles t0 = rdcycles();
+        int off = 0;
+        while (off < round) {
+            const size_t n = c.rx.pop_n(batch, kBatch);
+            const Cycles arrived = rdcycles();
+            // Batch boundary: one pass over the shared counter lines
+            // into the packed view.
+            for (int w = 0; w < workers; ++w) {
+                const size_t i_w = static_cast<size_t>(w);
+                const uint64_t fin =
+                    c.readers[i_w].read_finished(c.lines[i_w]);
+                view.set_len(i_w, c.assigned[i_w] > fin
+                                      ? c.assigned[i_w] - fin
+                                      : 0);
+                view.set_quanta(
+                    i_w, runtime::WorkerStatsReader::read_current_quanta(
+                             c.lines[i_w]));
+            }
+            // Per-request work: SIMD pick + saturating bump, local only.
+            for (size_t j = 0; j < n; ++j) {
+                batch[j].arrival_cycles = arrived;
+                const int best = view.pick_jsq_msq();
+                view.bump_len(static_cast<size_t>(best));
+                forward(c, best, batch[j], scratch);
+            }
+            off += static_cast<int>(n);
+        }
+        timed += rdcycles() - t0;
+        done += round;
+    }
+    return cycles_to_ns(timed) / kIters;
+}
+
 } // namespace
 
 int
 main()
 {
     bench::banner("Section 6",
-                  "dispatcher per-job cost, scalar vs batched hot path "
-                  "(batch=32, backlogged RX), and implied Mrps");
+                  "dispatcher per-job cost, scalar vs batched vs packed-"
+                  TQ_DISPATCH_VIEW_SIMD
+                  " hot path (batch=32, backlogged RX), and implied Mrps");
 
     // Warm the clock calibration before timing.
     cycles_per_ns();
 
-    std::printf("workers\tscalar_ns\tbatched_ns\tscalar_mrps\t"
-                "batched_mrps\tspeedup\n");
+    std::printf("workers\tscalar_ns\tbatched_ns\tpacked_ns\tscalar_mrps\t"
+                "batched_mrps\tpacked_mrps\tspeedup\n");
     for (int workers : {4, 8, 16}) {
         const double s = scalar_ns_per_job(workers);
         const double b = batched_ns_per_job(workers);
-        std::printf("%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.2fx\n", workers, s, b,
-                    1e3 / s, 1e3 / b, s / b);
+        const double p = packed_ns_per_job(workers);
+        std::printf("%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2fx\n",
+                    workers, s, b, p, 1e3 / s, 1e3 / b, 1e3 / p, s / p);
         std::fflush(stdout);
     }
     std::printf("# paper reports ~14 Mrps for TQ's dispatcher, >> the\n"
                 "# centralized ~5 Mrps; sim::Overheads::dispatch_cost is\n"
-                "# calibrated from the batched 16-worker ns/job above\n"
+                "# calibrated from the packed 16-worker ns/job above\n"
                 "# (see BENCH_dispatch.json for the recorded run).\n");
     return 0;
 }

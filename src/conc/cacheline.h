@@ -6,6 +6,13 @@
  * worker's statistics in a single cache line that the dispatcher reads
  * periodically; these helpers make that layout explicit and keep hot
  * shared variables from false-sharing.
+ *
+ * Layout discipline (docs/cache_line_analysis.md): every cross-thread
+ * line has exactly one writing thread, padding is explicit and stated,
+ * and each packed struct carries a static_assert on its size and
+ * alignment so a field addition fails the build instead of silently
+ * false-sharing. tests/layout_test.cc exercises the same invariants at
+ * runtime with real objects.
  */
 #ifndef TQ_CONC_CACHELINE_H
 #define TQ_CONC_CACHELINE_H
@@ -21,18 +28,58 @@ namespace tq {
  *
  * Fixed at 64 bytes (true for every x86-64 part this targets) rather than
  * std::hardware_destructive_interference_size, whose value is an ABI
- * hazard across compiler versions.
+ * hazard across compiler versions. Note some parts (recent Intel L2
+ * prefetchers, Apple silicon) pull *pairs* of lines; we pad to one line
+ * because the structs here are polled, not streamed, and doubling every
+ * pad measurably hurts the dispatcher's view-refresh footprint.
  */
 inline constexpr size_t kCacheLineSize = 64;
 
-/** A value padded out to occupy a full cache line by itself. */
+/**
+ * Layout-introspection hook for tests: concurrency containers befriend
+ * this struct so tests/layout_test.cc can take member addresses of real
+ * objects (offsetof on non-standard-layout types is only conditionally
+ * supported) without widening the public API.
+ */
+struct LayoutAudit;
+
+namespace detail {
+
+/** Explicit tail padding of @p N bytes; the N == 0 case is an empty
+ *  struct so `[[no_unique_address]]` members vanish (a zero-length
+ *  array is a GNU extension and ill-formed in standard C++). */
+template <size_t N>
+struct TailPad
+{
+    char pad[N];
+};
+
+template <>
+struct TailPad<0>
+{
+};
+
+/** Bytes needed after @p Size to reach the next line boundary. */
+inline constexpr size_t
+tail_pad_bytes(size_t size)
+{
+    return size % kCacheLineSize ? kCacheLineSize - size % kCacheLineSize
+                                 : 0;
+}
+
+} // namespace detail
+
+/** A value padded out to occupy a whole number of cache lines by itself. */
 template <typename T>
 struct alignas(kCacheLineSize) CacheAligned
 {
     T value{};
 
-    /** Trailing padding so sizeof is a whole number of lines. */
-    char pad[kCacheLineSize - (sizeof(T) % kCacheLineSize ? sizeof(T) % kCacheLineSize : kCacheLineSize)];
+    /** Explicit trailing padding. alignas already rounds sizeof up to a
+     *  line multiple; the member keeps the gap visible in the source and
+     *  collapses to nothing when T fills its lines exactly. */
+    [[no_unique_address]] detail::TailPad<detail::tail_pad_bytes(sizeof(T))>
+        pad;
 };
 
 /** Cache-line padded atomic counter, the common case of CacheAligned. */
@@ -41,8 +88,16 @@ struct alignas(kCacheLineSize) PaddedAtomic
 {
     std::atomic<T> value{};
 
-    char pad[kCacheLineSize - sizeof(std::atomic<T>) % kCacheLineSize];
+    [[no_unique_address]] detail::TailPad<detail::tail_pad_bytes(
+        sizeof(std::atomic<T>))>
+        pad;
 };
+
+static_assert(sizeof(PaddedAtomic<size_t>) == kCacheLineSize &&
+                  alignof(PaddedAtomic<size_t>) == kCacheLineSize,
+              "a padded cursor must own exactly one line");
+static_assert(sizeof(CacheAligned<char[kCacheLineSize]>) == kCacheLineSize,
+              "an exactly line-sized payload must not grow a second line");
 
 /** Pause hint for spin loops (PAUSE on x86, plain nop elsewhere). */
 inline void

@@ -152,16 +152,36 @@ class MpmcQueue
     }
 
   private:
+    friend struct ::tq::LayoutAudit;
+
+    /**
+     * One slot: the publication sequence and the payload it guards.
+     * Cells are deliberately *not* padded to a line (Vyukov's layout):
+     * any thread may write any cell, so there is no per-thread line to
+     * protect, and padding would multiply the footprint of a 2^14-deep
+     * RX queue by ~4 for requests. Adjacent-cell sharing is bounded by
+     * the queue discipline — concurrent producers claim consecutive
+     * positions, so the cells they publish are consecutive by design
+     * and the traffic is the cost of the algorithm, not accidental.
+     */
     struct Cell
     {
         std::atomic<size_t> sequence{0};
         T value{};
     };
 
+    /** Read-mostly after construction. */
     std::vector<Cell> cells_;
     size_t mask_;
+
+    /** The two contended RMW cursors, each alone on its line so
+     *  producers CASing enqueue_pos_ never stall consumers' reads of
+     *  dequeue_pos_ (and vice versa). */
     PaddedAtomic<size_t> enqueue_pos_;
     PaddedAtomic<size_t> dequeue_pos_;
+
+    static_assert(sizeof(PaddedAtomic<size_t>) == kCacheLineSize,
+                  "each MPMC cursor must own exactly one line");
 };
 
 } // namespace tq

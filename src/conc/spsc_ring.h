@@ -9,6 +9,14 @@
  * line per operation amortized. The batch APIs (push_n/pop_n) move up to
  * k items per index acquire/release pair, dividing that remaining shared
  * traffic by the batch size (DESIGN.md "Batched hot path").
+ *
+ * Index layout (docs/cache_line_analysis.md): two lines, one per end.
+ * Each end's published index shares its line with that same end's cached
+ * snapshot of the *other* index — both fields have a single writer (the
+ * owning end), so packing them costs nothing and halves the header from
+ * the previous four dedicated lines. The other end only ever loads the
+ * published index; the slot storage and mask sit on separate read-mostly
+ * lines ahead of the index block.
  */
 #ifndef TQ_CONC_SPSC_RING_H
 #define TQ_CONC_SPSC_RING_H
@@ -33,6 +41,37 @@ template <typename T>
 class SpscRing
 {
   public:
+    /**
+     * Producer-owned index line: the published producer index plus the
+     * producer's private snapshot of the consumer index. Single writer
+     * (the producer); the consumer acquire-loads only `head`.
+     */
+    struct alignas(kCacheLineSize) ProducerSide
+    {
+        std::atomic<size_t> head{0}; ///< next slot to fill (published)
+        size_t cached_tail = 0;      ///< producer-local tail snapshot
+
+        char pad[kCacheLineSize - sizeof(std::atomic<size_t>) -
+                 sizeof(size_t)];
+    };
+
+    /** Consumer-owned index line, mirror of ProducerSide. */
+    struct alignas(kCacheLineSize) ConsumerSide
+    {
+        std::atomic<size_t> tail{0}; ///< next slot to drain (published)
+        size_t cached_head = 0;      ///< consumer-local head snapshot
+
+        char pad[kCacheLineSize - sizeof(std::atomic<size_t>) -
+                 sizeof(size_t)];
+    };
+
+    static_assert(sizeof(ProducerSide) == kCacheLineSize &&
+                      alignof(ProducerSide) == kCacheLineSize,
+                  "each ring end owns exactly one index line");
+    static_assert(sizeof(ConsumerSide) == kCacheLineSize &&
+                      alignof(ConsumerSide) == kCacheLineSize,
+                  "each ring end owns exactly one index line");
+
     /** @param min_capacity minimum number of storable elements (>= 1). */
     explicit SpscRing(size_t min_capacity)
     {
@@ -57,14 +96,14 @@ class SpscRing
     bool
     push(T value)
     {
-        const size_t head = head_.value.load(std::memory_order_relaxed);
-        if (head - cached_tail_ > mask_) {
-            cached_tail_ = tail_.value.load(std::memory_order_acquire);
-            if (head - cached_tail_ > mask_)
+        const size_t head = prod_.head.load(std::memory_order_relaxed);
+        if (head - prod_.cached_tail > mask_) {
+            prod_.cached_tail = cons_.tail.load(std::memory_order_acquire);
+            if (head - prod_.cached_tail > mask_)
                 return false;
         }
         slots_[head & mask_] = std::move(value);
-        head_.value.store(head + 1, std::memory_order_release);
+        prod_.head.store(head + 1, std::memory_order_release);
         return true;
     }
 
@@ -81,17 +120,17 @@ class SpscRing
     size_t
     push_n(T *src, size_t n)
     {
-        const size_t head = head_.value.load(std::memory_order_relaxed);
-        size_t free = mask_ + 1 - (head - cached_tail_);
+        const size_t head = prod_.head.load(std::memory_order_relaxed);
+        size_t free = mask_ + 1 - (head - prod_.cached_tail);
         if (free < n) {
-            cached_tail_ = tail_.value.load(std::memory_order_acquire);
-            free = mask_ + 1 - (head - cached_tail_);
+            prod_.cached_tail = cons_.tail.load(std::memory_order_acquire);
+            free = mask_ + 1 - (head - prod_.cached_tail);
         }
         const size_t count = n < free ? n : free;
         for (size_t i = 0; i < count; ++i)
             slots_[(head + i) & mask_] = std::move(src[i]);
         if (count > 0)
-            head_.value.store(head + count, std::memory_order_release);
+            prod_.head.store(head + count, std::memory_order_release);
         return count;
     }
 
@@ -102,14 +141,14 @@ class SpscRing
     std::optional<T>
     pop()
     {
-        const size_t tail = tail_.value.load(std::memory_order_relaxed);
-        if (tail == cached_head_) {
-            cached_head_ = head_.value.load(std::memory_order_acquire);
-            if (tail == cached_head_)
+        const size_t tail = cons_.tail.load(std::memory_order_relaxed);
+        if (tail == cons_.cached_head) {
+            cons_.cached_head = prod_.head.load(std::memory_order_acquire);
+            if (tail == cons_.cached_head)
                 return std::nullopt;
         }
         T value = std::move(slots_[tail & mask_]);
-        tail_.value.store(tail + 1, std::memory_order_release);
+        cons_.tail.store(tail + 1, std::memory_order_release);
         return value;
     }
 
@@ -122,14 +161,14 @@ class SpscRing
     bool
     pop_into(T &out)
     {
-        const size_t tail = tail_.value.load(std::memory_order_relaxed);
-        if (tail == cached_head_) {
-            cached_head_ = head_.value.load(std::memory_order_acquire);
-            if (tail == cached_head_)
+        const size_t tail = cons_.tail.load(std::memory_order_relaxed);
+        if (tail == cons_.cached_head) {
+            cons_.cached_head = prod_.head.load(std::memory_order_acquire);
+            if (tail == cons_.cached_head)
                 return false;
         }
         out = std::move(slots_[tail & mask_]);
-        tail_.value.store(tail + 1, std::memory_order_release);
+        cons_.tail.store(tail + 1, std::memory_order_release);
         return true;
     }
 
@@ -144,17 +183,17 @@ class SpscRing
     size_t
     pop_n(T *dst, size_t max_n)
     {
-        const size_t tail = tail_.value.load(std::memory_order_relaxed);
-        size_t avail = cached_head_ - tail;
+        const size_t tail = cons_.tail.load(std::memory_order_relaxed);
+        size_t avail = cons_.cached_head - tail;
         if (avail < max_n) {
-            cached_head_ = head_.value.load(std::memory_order_acquire);
-            avail = cached_head_ - tail;
+            cons_.cached_head = prod_.head.load(std::memory_order_acquire);
+            avail = cons_.cached_head - tail;
         }
         const size_t count = max_n < avail ? max_n : avail;
         for (size_t i = 0; i < count; ++i)
             dst[i] = std::move(slots_[(tail + i) & mask_]);
         if (count > 0)
-            tail_.value.store(tail + count, std::memory_order_release);
+            cons_.tail.store(tail + count, std::memory_order_release);
         return count;
     }
 
@@ -162,21 +201,22 @@ class SpscRing
     size_t
     size() const
     {
-        return head_.value.load(std::memory_order_acquire) -
-               tail_.value.load(std::memory_order_acquire);
+        return prod_.head.load(std::memory_order_acquire) -
+               cons_.tail.load(std::memory_order_acquire);
     }
 
     /** True when size() == 0 at the time of the loads. */
     bool empty() const { return size() == 0; }
 
   private:
+    friend struct ::tq::LayoutAudit;
+
+    /** Read-mostly after construction (both ends load, nobody stores). */
     std::vector<T> slots_;
     size_t mask_;
 
-    PaddedAtomic<size_t> head_;          // written by producer
-    PaddedAtomic<size_t> tail_;          // written by consumer
-    alignas(kCacheLineSize) size_t cached_tail_ = 0;  // producer-local
-    alignas(kCacheLineSize) size_t cached_head_ = 0;  // consumer-local
+    ProducerSide prod_; ///< writer: producer thread only
+    ConsumerSide cons_; ///< writer: consumer thread only
 };
 
 } // namespace tq

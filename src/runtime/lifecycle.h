@@ -28,6 +28,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "conc/cacheline.h"
+
 namespace tq::runtime {
 
 /** Lifecycle phases, in strictly increasing order. */
@@ -56,8 +58,19 @@ lifecycle_name(Lifecycle s)
 /**
  * Shared lifecycle control block. Writer: the controlling thread.
  * Readers: dispatcher and workers, relaxed loads at loop boundaries.
+ *
+ * Read-hot, write-almost-never: every datapath loop polls this line, and
+ * it is written only a handful of times over a runtime's whole life
+ * (state transitions, dispatcher completion). It is padded onto its own
+ * line so that per-job counters elsewhere in the Runtime can never
+ * invalidate the copy every worker holds in its L1 — exactly the false
+ * sharing the PR 3-era Runtime had, where the dispatcher's per-job
+ * `dispatched_total_` increment sat adjacent to this block (see
+ * docs/cache_line_analysis.md). The two writers here (controller writes
+ * `state`, dispatcher writes `dispatcher_done`) sharing one line is
+ * deliberate: both fields are cold, and readers want them together.
  */
-struct LifecycleControl
+struct alignas(kCacheLineSize) LifecycleControl
 {
     std::atomic<uint32_t> state{static_cast<uint32_t>(Lifecycle::Created)};
 
@@ -65,6 +78,10 @@ struct LifecycleControl
      *  request it will ever forward; workers acquire it before deciding
      *  their dispatch ring is finally empty. */
     std::atomic<bool> dispatcher_done{false};
+
+    /** Keep the polled line to exactly one line. */
+    char pad[kCacheLineSize - sizeof(std::atomic<uint32_t>) -
+             sizeof(std::atomic<bool>)];
 
     /** Current phase. */
     Lifecycle
@@ -97,6 +114,10 @@ struct LifecycleControl
         state.store(static_cast<uint32_t>(to), std::memory_order_release);
     }
 };
+
+static_assert(sizeof(LifecycleControl) == kCacheLineSize &&
+                  alignof(LifecycleControl) == kCacheLineSize,
+              "the polled lifecycle block must own exactly one line");
 
 } // namespace tq::runtime
 

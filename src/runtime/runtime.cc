@@ -19,8 +19,7 @@ Runtime::Runtime(RuntimeConfig cfg, Handler handler)
           static_cast<size_t>(cfg.num_workers))),
       readers_(static_cast<size_t>(cfg.num_workers)),
       finished_view_(static_cast<size_t>(cfg.num_workers), 0),
-      len_view_(static_cast<size_t>(cfg.num_workers), 0),
-      quanta_view_(static_cast<size_t>(cfg.num_workers), 0),
+      view_(static_cast<size_t>(std::max(cfg.num_workers, 1))),
       query_readers_(static_cast<size_t>(cfg.num_workers)),
       snapshot_readers_(static_cast<size_t>(cfg.num_workers))
 {
@@ -29,6 +28,8 @@ Runtime::Runtime(RuntimeConfig cfg, Handler handler)
     for (int w = 0; w < cfg_.num_workers; ++w)
         workers_.push_back(std::make_unique<Worker>(
             w, cfg_, handler, &metrics_->worker(w), &lc_));
+    for (auto &w : workers_)
+        stat_lines_.push_back(&w->stats_line());
 }
 
 Runtime::~Runtime()
@@ -99,7 +100,7 @@ Runtime::drain(double deadline_sec)
     // in RX after the dispatcher's final sweep; they were never
     // forwarded, so count them abandoned.
     while (rx_.pop())
-        dispatcher_abandoned_.fetch_add(1, std::memory_order_relaxed);
+        counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
     // Likewise the dispatcher can push into a worker's ring after that
     // (force-stopped) worker's own final sweep; every thread is joined
     // now, so a second sweep is safe and closes the accounting.
@@ -151,7 +152,7 @@ Runtime::drain_responses(std::vector<Response> &out)
 uint64_t
 Runtime::abandoned_jobs() const
 {
-    uint64_t n = dispatcher_abandoned_.load(std::memory_order_relaxed);
+    uint64_t n = counters_.abandoned.load(std::memory_order_relaxed);
     for (const auto &w : workers_)
         n += w->abandoned_jobs();
     return n;
@@ -236,53 +237,34 @@ Runtime::refresh_dispatch_views()
     // length = assigned - finished (delta-tracked across wraps, clamped
     // at 0 against the transient finished>assigned race noted above).
     // This is the only place the dispatcher touches shared cache lines
-    // for load balancing; everything downstream works on len_view_ /
-    // quanta_view_ until the next batch boundary.
+    // for load balancing; everything downstream works on the packed
+    // view_ until the next batch boundary. stat_lines_ keeps the walk
+    // over the workers' lines pointer-chase-free.
     const size_t n = static_cast<size_t>(cfg_.num_workers);
     for (size_t i = 0; i < n; ++i) {
-        finished_view_[i] =
-            readers_[i].read_finished(workers_[i]->stats_line());
+        finished_view_[i] = readers_[i].read_finished(*stat_lines_[i]);
         const uint64_t asn = assigned_[i].load(std::memory_order_relaxed);
-        len_view_[i] = asn > finished_view_[i] ? asn - finished_view_[i] : 0;
+        view_.set_len(i,
+                      asn > finished_view_[i] ? asn - finished_view_[i] : 0);
         if (cfg_.dispatch == DispatchPolicy::JsqMsq)
-            quanta_view_[i] = WorkerStatsReader::read_current_quanta(
-                workers_[i]->stats_line());
+            view_.set_quanta(
+                i, WorkerStatsReader::read_current_quanta(*stat_lines_[i]));
     }
 }
 
 int
 Runtime::pick_worker_from_view()
 {
-    // JSQ over the local view, with the policy's tie-break. With a
-    // batch size of 1 (a refresh before every call) this is exactly the
-    // unbatched policy; inside a batch, ties use the boundary snapshot
-    // of current_quanta and queue lengths grow with each assignment.
-    const size_t n = static_cast<size_t>(cfg_.num_workers);
-    uint64_t best_len = ~0ULL;
-    for (size_t i = 0; i < n; ++i)
-        best_len = std::min(best_len, len_view_[i]);
-    int best = -1;
-    uint32_t best_quanta = 0;
-    uint64_t tie_count = 0;
-    for (size_t i = 0; i < n; ++i) {
-        if (len_view_[i] != best_len)
-            continue;
-        if (cfg_.dispatch == DispatchPolicy::JsqRandom) {
-            // Reservoir-style uniform choice among ties.
-            if (rng_.below(++tie_count) == 0)
-                best = static_cast<int>(i);
-        } else {
-            // MSQ: the tied worker whose current jobs have received
-            // the most quanta should finish them soonest (s. 3.2).
-            const uint32_t q = quanta_view_[i];
-            if (best < 0 || q > best_quanta) {
-                best = static_cast<int>(i);
-                best_quanta = q;
-            }
-        }
-    }
+    // JSQ over the packed local view (dispatch_view.h), with the
+    // policy's tie-break. With a batch size of 1 (a refresh before
+    // every call) this is exactly the unbatched policy; inside a batch,
+    // ties use the boundary snapshot of current_quanta and queue
+    // lengths grow with each assignment.
+    const int best = cfg_.dispatch == DispatchPolicy::JsqRandom
+                         ? view_.pick_jsq_random(rng_)
+                         : view_.pick_jsq_msq();
     TQ_CHECK(best >= 0);
-    len_view_[static_cast<size_t>(best)] += 1;
+    view_.bump_len(static_cast<size_t>(best));
     return best;
 }
 
@@ -325,11 +307,11 @@ Runtime::push_request(int target, const Request &req)
     size_t spins = 0;
     while (!ring.push(req)) {
         if (lc_.force_stop() || (limit != 0 && spins >= limit)) {
-            dispatcher_abandoned_.fetch_add(1, std::memory_order_relaxed);
+            counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
         ++spins;
-        dispatch_full_spins_.fetch_add(1, std::memory_order_relaxed);
+        counters_.full_spins.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::yield();
     }
     return true;
@@ -388,7 +370,7 @@ Runtime::dispatcher_main()
                           // the phase before the next batch
             assigned_[static_cast<size_t>(target)].fetch_add(
                 1, std::memory_order_relaxed);
-            dispatched_total_.fetch_add(1, std::memory_order_relaxed);
+            counters_.dispatched_total.fetch_add(1, std::memory_order_relaxed);
 #if defined(TQ_TELEMETRY_ENABLED)
             telemetry::DispatcherTelemetry &dt = metrics_->dispatcher();
             dt.dispatched.fetch_add(1, std::memory_order_relaxed);
@@ -404,7 +386,7 @@ Runtime::dispatcher_main()
     // Force-stopped with requests still queued: they will never be
     // forwarded — count them abandoned before announcing completion.
     while (rx_.pop())
-        dispatcher_abandoned_.fetch_add(1, std::memory_order_relaxed);
+        counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
     lc_.dispatcher_done.store(true, std::memory_order_release);
 }
 

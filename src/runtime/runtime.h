@@ -32,13 +32,44 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "conc/cacheline.h"
 #include "conc/mpmc_queue.h"
 #include "runtime/config.h"
+#include "runtime/dispatch_view.h"
 #include "runtime/lifecycle.h"
 #include "runtime/worker.h"
 #include "telemetry/telemetry.h"
 
 namespace tq::runtime {
+
+/**
+ * The dispatcher thread's always-on counters, alone on one line.
+ *
+ * `dispatched_total` is bumped per job; before this struct existed the
+ * three atomics sat directly next to the LifecycleControl member, so
+ * every dispatched job invalidated the lifecycle line all workers poll
+ * at every loop boundary — real false sharing on the hottest read path
+ * (docs/cache_line_analysis.md). Writer: the dispatcher thread (plus
+ * the drain()/stop() caller for `abandoned`, strictly after the
+ * dispatcher has exited); readers: cold stats accessors.
+ */
+struct alignas(kCacheLineSize) DispatcherCounters
+{
+    /** Requests forwarded to workers (per-job increment). */
+    std::atomic<uint64_t> dispatched_total{0};
+
+    /** Worker-ring-full spin iterations (backpressure gauge). */
+    std::atomic<uint64_t> full_spins{0};
+
+    /** Jobs dropped by overflow policy or left queued at a forced stop. */
+    std::atomic<uint64_t> abandoned{0};
+
+    char pad[kCacheLineSize - 3 * sizeof(std::atomic<uint64_t>)];
+};
+
+static_assert(sizeof(DispatcherCounters) == kCacheLineSize &&
+                  alignof(DispatcherCounters) == kCacheLineSize,
+              "dispatcher counters must own exactly one line");
 
 /** A running TQ instance. */
 class Runtime
@@ -108,7 +139,7 @@ class Runtime
     uint64_t
     dispatched() const
     {
-        return dispatched_total_.load(std::memory_order_relaxed);
+        return counters_.dispatched_total.load(std::memory_order_relaxed);
     }
 
     /** Jobs accepted but never finished: dropped by the dispatcher's
@@ -126,7 +157,7 @@ class Runtime
     uint64_t
     dispatch_ring_full_spins() const
     {
-        return dispatch_full_spins_.load(std::memory_order_relaxed);
+        return counters_.full_spins.load(std::memory_order_relaxed);
     }
 
     const RuntimeConfig &config() const { return cfg_; }
@@ -160,6 +191,8 @@ class Runtime
     size_t drain_trace(std::vector<telemetry::TraceEvent> &out);
 
   private:
+    friend struct ::tq::LayoutAudit;
+
     void dispatcher_main();
     int pick_worker();
     void refresh_dispatch_views();
@@ -179,25 +212,30 @@ class Runtime
     /** Dispatcher-private JSQ wrap state; no other thread touches it. */
     std::vector<WorkerStatsReader> readers_;
     std::vector<uint64_t> finished_view_;
-    /** Dispatcher-local queue-length view: refreshed from the workers'
-     *  counter lines once per RX batch (clamped at 0 against the
-     *  transient finished>assigned race), then bumped incrementally as
-     *  the batch's requests are assigned — per-request work inside a
-     *  batch never touches a shared cache line. */
-    std::vector<uint64_t> len_view_;
-    /** MSQ tie-break view, snapshotted with len_view_ per batch. */
-    std::vector<uint32_t> quanta_view_;
+    /** The workers' stats lines as one contiguous pointer array so the
+     *  per-batch refresh walks pointers, not unique_ptr<Worker> double
+     *  indirections. Filled once at construction, dispatcher-read. */
+    std::vector<WorkerStatsLine *> stat_lines_;
+    /** Dispatcher-local packed JSQ/MSQ view (dispatch_view.h): refreshed
+     *  from the workers' counter lines once per RX batch (clamped at 0
+     *  against the transient finished>assigned race), then bumped
+     *  incrementally as the batch's requests are assigned — per-request
+     *  work inside a batch never touches a shared cache line, and the
+     *  pick reads one packed line per 16 workers (single-pass scan at
+     *  one-line width, SIMD horizontal min above). */
+    DispatchView view_;
 
     /** External readers' wrap state, guarded by stats_mu_. */
     std::vector<WorkerStatsReader> query_readers_;
     std::vector<WorkerStatsReader> snapshot_readers_;
     std::mutex stats_mu_;
 
-    std::atomic<uint64_t> dispatched_total_{0};
-    std::atomic<uint64_t> dispatch_full_spins_{0};
-    /** Jobs the dispatcher dropped or left behind (see abandoned_jobs()). */
-    std::atomic<uint64_t> dispatcher_abandoned_{0};
+    /** Dispatcher-written hot counters; padded so their per-job traffic
+     *  never touches the lifecycle line below (see DispatcherCounters). */
+    DispatcherCounters counters_;
 
+    /** Read-hot by every thread, written almost never; owns its line
+     *  (LifecycleControl is alignas(kCacheLineSize)). */
     LifecycleControl lc_;
     std::atomic<int> live_threads_{0};
     std::vector<std::thread> threads_;

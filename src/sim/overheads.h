@@ -28,12 +28,13 @@ struct Overheads
     /**
      * Dispatcher work per *job* (poll packet, pick core, push to ring).
      * The paper quotes ~14 Mrps (section 6) => ~70 ns/job for the
-     * per-request path; this repo's batched hot path (pop_n + one
-     * counter-line refresh per batch, see DESIGN.md) measures ~31 ns/job
-     * at 16 workers on bench/misc_dispatcher_throughput, recorded in
-     * BENCH_dispatch.json.
+     * per-request path; this repo's batched hot path with the packed
+     * DispatchView pick (pop_n + one counter-line refresh per batch into
+     * cache-line-aligned uint32 lanes, see DESIGN.md §4c and
+     * docs/cache_line_analysis.md) measures ~28 ns/job at 16 workers on
+     * bench/misc_dispatcher_throughput, recorded in BENCH_dispatch.json.
      */
-    SimNanos dispatch_cost = 31;
+    SimNanos dispatch_cost = 28;
 
     /**
      * Centralized scheduler work per *scheduling operation* (enqueue or

@@ -44,7 +44,12 @@ namespace tq::telemetry {
 class CycleHistogram
 {
   public:
-    /** Buckets cover [1, 2^40) cycles — beyond any per-event latency. */
+    /** Buckets cover [1, 2^40) cycles — beyond any per-event latency.
+     *  Layout note: 42 uint64 atomics = 336 bytes (5.25 lines), not
+     *  padded per bucket — every field has the same single writer (the
+     *  owning thread), so internal sharing is free, and the enclosing
+     *  WorkerTelemetry/DispatcherTelemetry objects group histograms by
+     *  writer (docs/cache_line_analysis.md). */
     static constexpr int kBuckets = 40;
 
     /** Record one cycle-valued sample. Wait-free. */
@@ -85,7 +90,16 @@ class CycleHistogram
     std::atomic<uint64_t> count_{0};
 };
 
-/** One worker thread's event counters, alone on their cache line. */
+/**
+ * One worker thread's event counters, alone on their cache line.
+ *
+ * Single writer (the owning worker); snapshot readers only load. Five
+ * counters fit one line with 24 bytes of stated pad — room for two more
+ * before the static_assert below forces a second (still worker-owned)
+ * line. Each worker's WorkerTelemetry is a separate heap allocation, so
+ * distinct workers' counters can never share a line regardless of
+ * allocator behaviour (checked in tests/layout_test.cc).
+ */
 struct alignas(kCacheLineSize) WorkerCounters
 {
     std::atomic<uint64_t> admitted{0};        ///< jobs pulled off the
@@ -100,7 +114,8 @@ struct alignas(kCacheLineSize) WorkerCounters
     char pad[kCacheLineSize - 5 * sizeof(std::atomic<uint64_t>)];
 };
 
-static_assert(sizeof(WorkerCounters) == kCacheLineSize,
+static_assert(sizeof(WorkerCounters) == kCacheLineSize &&
+                  alignof(WorkerCounters) == kCacheLineSize,
               "one cache line per worker");
 
 /** Everything one worker thread writes: counters, stage histograms,

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "conc/cacheline.h"
 #include "conc/spsc_ring.h"
 #include "telemetry/events.h"
 
@@ -85,10 +86,21 @@ class TraceRing
     size_t capacity() const { return ring_.capacity(); }
 
   private:
+    friend struct ::tq::LayoutAudit;
+
+    // tid_ (constant) and dropped_ (producer-written on the cold
+    // overflow path, consumer-read) share the leading line; the ring_
+    // member is line-aligned (its index sides are), so placing the two
+    // small fields *before* it packs them into the alignment gap
+    // instead of growing the object by a line after it.
     uint8_t tid_;
-    SpscRing<TraceEvent> ring_;
     std::atomic<uint64_t> dropped_{0};
+    SpscRing<TraceEvent> ring_;
 };
+
+static_assert(alignof(TraceRing) == kCacheLineSize,
+              "the ring's index sides keep their line alignment through "
+              "the wrapper");
 
 } // namespace tq::telemetry
 

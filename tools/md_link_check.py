@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and heading anchors across the repo.
+
+Scans every *.md under the repo root (skipping build trees and generated
+API docs), extracts inline links `[text](target)`, and verifies:
+
+  * relative file targets exist (resolved against the linking file);
+  * `#fragment` anchors — both same-file (`#section`) and cross-file
+    (`other.md#section`) — match a heading in the target file, using
+    GitHub's slugification (lowercase, punctuation stripped, spaces to
+    hyphens, duplicate slugs suffixed -1, -2, ...).
+
+External links (http/https/mailto) are recorded but not fetched: CI
+must stay deterministic and offline. Exit status 0 when every checked
+link resolves, 1 otherwise (each failure printed as file:line).
+
+Usage: tools/md_link_check.py [ROOT]   (default: repo root = parent of
+this script's directory)
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-rel", "build-asan", "build-tsan",
+             "api", "__pycache__", ".claude"}
+
+# Inline links/images: [text](target) — tolerates one level of nested
+# brackets in the text, stops the target at the first unescaped ')' or
+# a space (titles like (file.md "Title") keep only the path part).
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(\s*<?([^)<>\s]+)>?"
+                     r"(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+# Explicit HTML anchors also count as link targets.
+HTML_ANCHOR_RE = re.compile(r"<a\s+(?:name|id)=[\"']([^\"']+)[\"']")
+
+
+def slugify(text):
+    """GitHub-style heading slug (good enough for ASCII repos)."""
+    # Drop inline code/emphasis markers and links' URL part first.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    out = []
+    for ch in text.strip().lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-")
+        # every other character (punctuation, quotes, §, …) is dropped
+    return "".join(out)
+
+
+def collect_anchors(path, cache):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    counts = {}
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    base = slugify(m.group(2))
+                    n = counts.get(base, 0)
+                    counts[base] = n + 1
+                    slugs.add(base if n == 0 else f"{base}-{n}")
+                for a in HTML_ANCHOR_RE.findall(line):
+                    slugs.add(a)
+    except OSError:
+        pass
+    cache[path] = slugs
+    return slugs
+
+
+def iter_md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check(root):
+    anchor_cache = {}
+    failures = []
+    checked = external = 0
+    for md in iter_md_files(root):
+        in_fence = False
+        with open(md, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for m in LINK_RE.finditer(line):
+                    target = m.group(1)
+                    if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                        external += 1  # http/https/mailto: not fetched
+                        continue
+                    checked += 1
+                    path_part, _, frag = target.partition("#")
+                    rel = os.path.relpath(md, root)
+                    where = f"{rel}:{lineno}"
+                    if path_part:
+                        dest = os.path.normpath(
+                            os.path.join(os.path.dirname(md), path_part))
+                        if not os.path.exists(dest):
+                            failures.append(
+                                f"{where}: broken link `{target}` "
+                                f"(no such file {path_part})")
+                            continue
+                    else:
+                        dest = md  # same-file anchor
+                    if frag:
+                        if os.path.isdir(dest) or not dest.endswith(".md"):
+                            continue  # anchors only checked in markdown
+                        slugs = collect_anchors(dest, anchor_cache)
+                        if frag.lower() not in slugs:
+                            failures.append(
+                                f"{where}: broken anchor `{target}` "
+                                f"(no heading slug `{frag}` in "
+                                f"{os.path.relpath(dest, root)})")
+    return failures, checked, external
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir))
+    failures, checked, external = check(root)
+    for f in failures:
+        print(f)
+    print(f"md_link_check: {checked} relative links checked, "
+          f"{external} external skipped, {len(failures)} broken")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
