@@ -1,0 +1,114 @@
+#include "common/arrival.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tq {
+
+PoissonProcess::PoissonProcess(double rate_per_ns) : rate_(rate_per_ns)
+{
+    TQ_CHECK(rate_ > 0);
+    mean_gap_ns_ = 1.0 / rate_;
+}
+
+double
+PoissonProcess::next(double from_ns, Rng &rng)
+{
+    // Exactly the historical inline code path: one exponential draw at
+    // the mean gap. rng.exponential(m) is -m*log1p(-uniform()), so this
+    // is value-for-value what every pre-existing caller computed.
+    return from_ns + rng.exponential(mean_gap_ns_);
+}
+
+OnOffProcess::OnOffProcess(double base_rate_per_ns, const OnOffConfig &cfg)
+    : base_rate_(base_rate_per_ns), cfg_(cfg)
+{
+    TQ_CHECK(base_rate_ > 0);
+    TQ_CHECK(cfg_.on_ns > 0 && cfg_.off_ns >= 0);
+    TQ_CHECK(cfg_.on_mult > 0); // the ON phase must emit, or the
+                                // process could stay silent forever
+    TQ_CHECK(cfg_.off_mult >= 0);
+    TQ_CHECK(cfg_.ramp_amplitude >= 0 && cfg_.ramp_amplitude <= 1);
+    if (cfg_.ramp_amplitude > 0)
+        TQ_CHECK(cfg_.ramp_period_ns > 0);
+}
+
+double
+OnOffProcess::phase_rate(bool on, double phase_start) const
+{
+    double r = base_rate_ * (on ? cfg_.on_mult : cfg_.off_mult);
+    if (cfg_.ramp_amplitude > 0) {
+        const double ramp =
+            1.0 + cfg_.ramp_amplitude *
+                      std::sin(2.0 * M_PI * phase_start /
+                               cfg_.ramp_period_ns);
+        // sin() can land a hair below -1 in the last ulp; never let a
+        // rounding error produce a negative rate.
+        r *= ramp < 0 ? 0.0 : ramp;
+    }
+    return r;
+}
+
+void
+OnOffProcess::advance_phase(Rng &rng)
+{
+    on_ = !on_;
+    ++phases_begun_;
+    phase_start_ = phase_end_;
+    const double mean_span = on_ ? cfg_.on_ns : cfg_.off_ns;
+    const double span = cfg_.exponential_phases && mean_span > 0
+                            ? rng.exponential(mean_span)
+                            : mean_span;
+    phase_end_ = phase_start_ + span;
+    rate_now_ = phase_rate(on_, phase_start_);
+}
+
+double
+OnOffProcess::next(double from_ns, Rng &rng)
+{
+    // Invert the cumulative intensity: one unit-exponential budget,
+    // consumed phase by phase at `rate * span` capacity each.
+    double need = rng.exponential(1.0);
+    double t = from_ns > phase_start_ ? from_ns : phase_start_;
+    while (true) {
+        // Enter the phase containing t (draws phase lengths lazily;
+        // the very first call starts phase 1 = ON at time 0).
+        while (t >= phase_end_)
+            advance_phase(rng);
+        if (rate_now_ > 0) {
+            const double cap = rate_now_ * (phase_end_ - t);
+            if (need <= cap)
+                return t + need / rate_now_;
+            need -= cap;
+        }
+        // Zero-rate (or exhausted) phase: step over it without ever
+        // dividing by the rate.
+        t = phase_end_;
+    }
+}
+
+double
+OnOffProcess::mean_rate() const
+{
+    // Duty-cycle average; the sinusoidal ramp integrates to 1 over a
+    // full period so it does not move the long-run mean.
+    const double cycle = cfg_.on_ns + cfg_.off_ns;
+    return base_rate_ *
+           (cfg_.on_mult * cfg_.on_ns + cfg_.off_mult * cfg_.off_ns) /
+           cycle;
+}
+
+std::unique_ptr<ArrivalProcess>
+make_arrival_process(const ArrivalSpec &spec, double rate_per_ns)
+{
+    switch (spec.kind) {
+    case ArrivalSpec::Kind::OnOff:
+        return std::make_unique<OnOffProcess>(rate_per_ns, spec.onoff);
+    case ArrivalSpec::Kind::Poisson:
+        break;
+    }
+    return std::make_unique<PoissonProcess>(rate_per_ns);
+}
+
+} // namespace tq

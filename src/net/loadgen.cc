@@ -1,11 +1,13 @@
 #include "net/loadgen.h"
 
+#include <memory>
 #include <thread>
 
 #include "common/check.h"
 #include "common/cycles.h"
 #include "common/rng.h"
 #include "fault/fault.h"
+#include "runtime/fanout.h"
 
 namespace tq::net {
 
@@ -23,6 +25,7 @@ run_open_loop(Server &server, const ServiceDist &dist,
               const RequestFactory &factory, const LoadGenConfig &cfg)
 {
     TQ_CHECK(cfg.rate_mrps > 0);
+    TQ_CHECK(cfg.fanout >= 1);
     Rng rng(cfg.seed);
     const auto &names = dist.class_names();
     std::vector<PercentileTracker> sojourn(names.size());
@@ -32,64 +35,108 @@ run_open_loop(Server &server, const ServiceDist &dist,
     ClientStats stats;
     std::vector<runtime::Response> responses;
     responses.reserve(4096);
+    runtime::FanoutCollector gather;
 
-    const double mean_gap_ns = 1e3 / cfg.rate_mrps; // ns between sends
-    const Cycles start = rdcycles();
-    const Cycles window_end =
-        start + ns_to_cycles(cfg.duration_sec * 1e9);
-    Cycles next_send =
-        start + ns_to_cycles(rng.exponential(mean_gap_ns));
-    uint64_t next_id = 0;
+    // The send schedule lives in the nanosecond domain (1 Mrps =
+    // 1e-3 req/ns) and is drawn from the same ArrivalProcess machinery
+    // as the simulators, with the same draw interleave — initial gap,
+    // then (service sample, next gap) per request — so a seeded run
+    // produces the identical arrival sequence through both stacks.
+    const double rate_per_ns = cfg.rate_mrps * 1e-3;
+    const std::unique_ptr<ArrivalProcess> arrival =
+        make_arrival_process(cfg.arrival, rate_per_ns);
+    const double duration_ns = cfg.duration_sec * 1e9;
 
 #if defined(TQ_TELEMETRY_ENABLED)
-    telemetry::CycleHistogram *const sojourn_hist =
-        cfg.metrics != nullptr ? &cfg.metrics->client().sojourn_cycles
-                               : nullptr;
+    telemetry::ClientTelemetry *const ct =
+        cfg.metrics != nullptr ? &cfg.metrics->client() : nullptr;
+    uint64_t phases_seen = 0;
 #endif
     auto collect = [&] {
         TQ_FAULT_SITE(LoadgenCollect);
         // The server drains each worker TX ring with batched pop_n
         // (one shared-index round trip per ring per burst), so the
-        // whole backlog lands here in one call.
+        // whole backlog lands here in one call. Shard responses pass
+        // through the gather stage; stats count logical completions.
         responses.clear();
         server.drain(responses);
         for (const auto &r : responses) {
-            const size_t c = static_cast<size_t>(r.job_class);
-            sojourn[c].add(r.sojourn_ns());
-            e2e[c].add(r.e2e_ns());
+            runtime::Response logical;
+            Cycles spread = 0;
+            if (!gather.feed(r, &logical, &spread))
+                continue;
+            const size_t c = static_cast<size_t>(logical.job_class);
+            sojourn[c].add(logical.sojourn_ns());
+            e2e[c].add(logical.e2e_ns());
             ++counts[c];
             ++stats.completed;
 #if defined(TQ_TELEMETRY_ENABLED)
-            if (sojourn_hist != nullptr)
-                sojourn_hist->add(r.done_cycles - r.arrival_cycles);
+            if (ct != nullptr) {
+                ct->sojourn_cycles.add(logical.done_cycles -
+                                       logical.arrival_cycles);
+                if (logical.fanout > 1)
+                    ct->fanout_spread_cycles.add(spread);
+            }
 #endif
         }
     };
 
+    const Cycles start = rdcycles();
+    double next_send_ns = arrival->next(0.0, rng);
+    if (cfg.send_trace != nullptr)
+        cfg.send_trace->push_back(next_send_ns);
+    uint64_t next_id = 0;
+
     // Generation window: open loop — send times do not depend on
-    // completions (paper section 5.1).
-    while (true) {
-        const Cycles now = rdcycles();
-        if (now >= window_end)
-            break;
-        while (next_send <= now) {
-            const ServiceSample s = dist.sample(rng);
-            runtime::Request req = factory(s, next_id);
-            req.id = next_id++;
-            req.gen_cycles = next_send;
-            TQ_FAULT_SITE(LoadgenSend);
-            if (server.submit(req))
-                ++stats.submitted;
-            else
-                ++stats.send_failures;
-            next_send += ns_to_cycles(rng.exponential(mean_gap_ns));
+    // completions (paper section 5.1). Every arrival scheduled inside
+    // the window is sent, even when the wall clock lags the schedule,
+    // so the submitted set is a pure function of the seed.
+    while (next_send_ns < duration_ns) {
+        const Cycles sched = start + ns_to_cycles(next_send_ns);
+        if (rdcycles() < sched) {
+            collect();
+            continue;
         }
-        collect();
+        const ServiceSample s = dist.sample(rng);
+        runtime::Request req = factory(s, next_id);
+        req.id = next_id++;
+        req.gen_cycles = sched;
+        req.fanout = cfg.fanout;
+        TQ_FAULT_SITE(LoadgenSend);
+        if (server.submit(req))
+            ++stats.submitted;
+        else
+            ++stats.send_failures;
+        next_send_ns = arrival->next(next_send_ns, rng);
+        if (cfg.send_trace != nullptr)
+            cfg.send_trace->push_back(next_send_ns);
+#if defined(TQ_TELEMETRY_ENABLED)
+        if (ct != nullptr) {
+            const uint64_t phases = arrival->phases_begun();
+            if (phases != phases_seen) {
+                // Phase boundary: sample the in-flight backlog — the
+                // per-phase burst-occupancy series of the scenario bench.
+                phases_seen = phases;
+                ct->burst_inflight.add(stats.submitted - stats.completed);
+            }
+        }
+#endif
     }
-    // The achieved rate is completions per *generation-window* time:
-    // measuring over generation + drain would deflate the rate by
-    // however long the tail straggled (up to drain_timeout_sec).
+    // The schedule ran dry (the overshoot draw above is past the
+    // window) but the window itself runs to the configured duration:
+    // keep collecting until it closes so completions landing between
+    // the last send and the close still count as in-window.
+    const Cycles window_end = start + ns_to_cycles(duration_ns);
+    while (rdcycles() < window_end)
+        collect();
+    // The achieved rate counts completions observed inside the
+    // generation window only: completions landing during the drain
+    // below belong to the percentiles but not to the rate (measuring
+    // them would credit the window with throughput it did not sustain,
+    // and measuring over generation + drain time would deflate the rate
+    // by however long the tail straggled).
     const Cycles gen_end = rdcycles();
+    stats.completed_in_window = stats.completed;
 
     // Drain stragglers.
     const Cycles drain_end =
@@ -101,12 +148,11 @@ run_open_loop(Server &server, const ServiceDist &dist,
     collect();
 
 #if defined(TQ_TELEMETRY_ENABLED)
-    if (cfg.metrics != nullptr) {
-        telemetry::ClientTelemetry &ct = cfg.metrics->client();
-        ct.submitted.fetch_add(stats.submitted, std::memory_order_relaxed);
-        ct.send_failures.fetch_add(stats.send_failures,
-                                   std::memory_order_relaxed);
-        ct.completed.fetch_add(stats.completed, std::memory_order_relaxed);
+    if (ct != nullptr) {
+        ct->submitted.fetch_add(stats.submitted, std::memory_order_relaxed);
+        ct->send_failures.fetch_add(stats.send_failures,
+                                    std::memory_order_relaxed);
+        ct->completed.fetch_add(stats.completed, std::memory_order_relaxed);
     }
 #endif
 
@@ -114,9 +160,10 @@ run_open_loop(Server &server, const ServiceDist &dist,
     stats.gen_elapsed_sec = gen_elapsed_ns / 1e9;
     stats.timed_out = stats.submitted - stats.completed;
     stats.achieved_mrps =
-        gen_elapsed_ns > 0 ? static_cast<double>(stats.completed) * 1e3 /
-                                 gen_elapsed_ns
-                           : 0;
+        gen_elapsed_ns > 0
+            ? static_cast<double>(stats.completed_in_window) * 1e3 /
+                  gen_elapsed_ns
+            : 0;
     for (size_t c = 0; c < names.size(); ++c) {
         ClientClassStats cs;
         cs.name = names[c];

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arrival.h"
 #include "common/dist.h"
 #include "common/percentile.h"
 #include "runtime/request.h"
@@ -38,6 +39,31 @@ struct LoadGenConfig
     double warmup = 0.1;        ///< discarded sample prefix
     double drain_timeout_sec = 10.0; ///< wait for stragglers after window
     uint64_t seed = 1;          ///< arrival-process RNG seed
+
+    /**
+     * Arrival-process shape at rate_mrps: Poisson by default, or the
+     * MMPP/on-off/diurnal process of common/arrival.h. The send schedule
+     * is drawn in the nanosecond domain with the same draw interleave as
+     * the simulators (initial gap, then sample/next per request), so a
+     * seeded run emits the identical arrival sequence through the
+     * runtime and through the sim (tests/integration_test.cc parity).
+     */
+    ArrivalSpec arrival;
+
+    /**
+     * Scatter-gather width: every request is stamped with this fan-out
+     * and the dispatcher expands it into that many shards; the generator
+     * gathers shard responses (runtime/fanout.h) and all reported stats
+     * count *logical* requests, completing on the last shard.
+     */
+    uint32_t fanout = 1;
+
+    /**
+     * Optional sink for every arrival draw (absolute ns, including the
+     * final past-window overshoot draw) — the client-side twin of
+     * EngineCore::set_arrival_trace, compared by the parity tests.
+     */
+    std::vector<double> *send_trace = nullptr;
 
     /**
      * Optional telemetry registry: when set (and the build has
@@ -71,9 +97,18 @@ struct ClientStats
     uint64_t timed_out = 0;
 
     /**
-     * Completions per generation-window millisecond. The window is the
-     * configured duration only — the straggler-drain phase after it is
-     * excluded, so a slow drain no longer deflates the reported rate.
+     * Completions collected before the generation window closed.
+     * Requests still in flight at window close are NOT in this count —
+     * they either drain into `completed` (and the percentiles) or end up
+     * in `timed_out`, never both.
+     */
+    uint64_t completed_in_window = 0;
+
+    /**
+     * completed_in_window per generation-window millisecond. Only
+     * completions observed inside the window count: draining stragglers
+     * after it can neither inflate the rate (completions landing after
+     * close) nor deflate it (drain time is excluded from the divisor).
      */
     double achieved_mrps = 0;
     /** Measured generation-window length (excludes the drain phase). */

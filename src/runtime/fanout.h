@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Client-side gather for scatter-gather requests.
+ *
+ * The dispatcher expands a request with `fanout = k` into k shard
+ * copies, each placed on its own worker (runtime.cc); responses leave
+ * the workers independently, so the *client* is where the gather
+ * happens — the intra-host analogue of a fan-out RPC whose caller
+ * completes on the last reply. The collector keys shard responses by
+ * request id and reports the merged logical response when the final
+ * shard lands (last-response-wins: the logical completion time is the
+ * slowest shard's completion).
+ *
+ * Partial-failure disposition: a shard dropped by TX overflow or
+ * abandoned at a forced stop simply never arrives, so its group stays
+ * pending; the load generator counts still-pending groups as timed_out
+ * at the drain deadline, never as completions (DESIGN.md "Arrival
+ * processes & scatter-gather").
+ */
+#ifndef TQ_RUNTIME_FANOUT_H
+#define TQ_RUNTIME_FANOUT_H
+
+#include <unordered_map>
+
+#include "common/cycles.h"
+#include "runtime/request.h"
+
+namespace tq::runtime {
+
+/** Gathers shard responses into logical completions. Single-threaded
+ *  (lives next to the response collector loop). */
+class FanoutCollector
+{
+  public:
+    /**
+     * Feed one shard response. For fanout <= 1 responses pass straight
+     * through. @return true when @p r completed its logical request;
+     * then @p logical holds the merged response: `done_cycles` of the
+     * last shard, earliest `arrival_cycles`, XOR of the shard results,
+     * and the worker of the finishing shard. When @p spread_cycles is
+     * non-null it receives last-minus-first shard completion spread
+     * (the fan-out completion-histogram sample); 0 for fanout 1.
+     */
+    bool
+    feed(const Response &r, Response *logical,
+         Cycles *spread_cycles = nullptr)
+    {
+        if (r.fanout <= 1) {
+            *logical = r;
+            if (spread_cycles != nullptr)
+                *spread_cycles = 0;
+            return true;
+        }
+        auto [it, fresh] = groups_.try_emplace(r.id);
+        Group &g = it->second;
+        if (fresh) {
+            g.remaining = r.fanout;
+            g.merged = r;
+            g.first_done = r.done_cycles;
+        } else {
+            g.merged.result ^= r.result;
+            if (r.arrival_cycles < g.merged.arrival_cycles)
+                g.merged.arrival_cycles = r.arrival_cycles;
+            if (r.done_cycles >= g.merged.done_cycles) {
+                g.merged.done_cycles = r.done_cycles;
+                g.merged.worker = r.worker;
+            }
+            if (r.done_cycles < g.first_done)
+                g.first_done = r.done_cycles;
+        }
+        if (--g.remaining > 0)
+            return false;
+        *logical = g.merged;
+        logical->shard = 0;
+        if (spread_cycles != nullptr)
+            *spread_cycles = g.merged.done_cycles - g.first_done;
+        groups_.erase(it);
+        return true;
+    }
+
+    /** Logical requests with at least one but not all shards gathered. */
+    size_t pending() const { return groups_.size(); }
+
+    void clear() { groups_.clear(); }
+
+  private:
+    struct Group
+    {
+        uint32_t remaining = 0;
+        Response merged;
+        Cycles first_done = 0;
+    };
+
+    std::unordered_map<uint64_t, Group> groups_;
+};
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_FANOUT_H

@@ -26,6 +26,18 @@ struct Request
                                ///< 0 otherwise)
     int job_class = 0;         ///< workload class (short/long, GET/SCAN...)
     uint64_t payload = 0;      ///< class-specific argument (key, ns, ...)
+
+    /**
+     * Scatter-gather width: the dispatcher expands a request with
+     * fanout k into k shard copies, each placed independently (one
+     * pick+push per shard). 1 — the default — is the classic
+     * single-shard path. The client gathers the shard responses and
+     * completes the logical request on the last one
+     * (runtime/fanout.h).
+     */
+    uint32_t fanout = 1;
+    uint32_t shard = 0;        ///< shard index in [0, fanout), set by
+                               ///< the dispatcher during expansion
 };
 
 /** One completed response, emitted directly by the worker. */
@@ -38,6 +50,8 @@ struct Response
     int job_class = 0;
     int worker = -1;           ///< core that executed the job
     uint64_t result = 0;       ///< handler's output (checksum etc.)
+    uint32_t fanout = 1;       ///< copied from the request
+    uint32_t shard = 0;        ///< which shard this response answers
 
     /** Server-side sojourn (dispatcher receive -> completion), ns. */
     double

@@ -66,8 +66,21 @@ bool
 Runtime::drain(double deadline_sec)
 {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
-    if (!started_ || lc_.phase() == Lifecycle::Stopped)
+    if (lc_.phase() == Lifecycle::Stopped)
         return drained_clean_; // idempotent: repeat the first outcome
+    if (!started_) {
+        // Never started: there are no threads to quiesce, but submit()
+        // accepts in Created so clients may have pre-queued into RX.
+        // Those requests will never be forwarded — count them abandoned
+        // instead of letting them vanish from the accounting (the early
+        // return here used to report a clean drain while losing them).
+        lc_.escalate(Lifecycle::Stopped);
+        while (rx_.pop())
+            counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
+        drained_clean_ =
+            abandoned_jobs() == 0 && dropped_responses() == 0;
+        return drained_clean_;
+    }
 
     // Running -> Draining: submit() starts rejecting, the dispatcher
     // forwards what is queued and exits, workers finish and exit. (A
@@ -357,27 +370,40 @@ Runtime::dispatcher_main()
         for (size_t i = 0; i < n; ++i) {
             Request &req = batch[i];
             req.arrival_cycles = arrived_at;
-            const int target =
-                jsq_policy ? pick_worker_from_view() : pick_worker();
+            // Scatter-gather expansion: a request with fanout k becomes
+            // k shard pushes, each placed by its own policy pick (JSQ's
+            // incremental bump_len spreads the shards naturally). The
+            // degenerate k=1 loop is exactly the classic per-request
+            // path. Per-shard counters: dispatched_total/assigned_ move
+            // in worker-job units everywhere downstream.
+            const uint32_t fanout = req.fanout == 0 ? 1 : req.fanout;
+            for (uint32_t s = 0; s < fanout; ++s) {
+                req.shard = s;
+                const int target =
+                    jsq_policy ? pick_worker_from_view() : pick_worker();
 #if defined(TQ_TELEMETRY_ENABLED)
-            // Stamp the handoff *before* the push: once the request is
-            // in the ring the worker may already be reading it.
-            const Cycles dispatched_at = rdcycles();
-            req.dispatch_cycles = dispatched_at;
+                // Stamp the handoff *before* the push: once the request
+                // is in the ring the worker may already be reading it.
+                const Cycles dispatched_at = rdcycles();
+                req.dispatch_cycles = dispatched_at;
 #endif
-            if (!push_request(target, req))
-                continue; // dropped (counted); the outer loop re-checks
-                          // the phase before the next batch
-            assigned_[static_cast<size_t>(target)].fetch_add(
-                1, std::memory_order_relaxed);
-            counters_.dispatched_total.fetch_add(1, std::memory_order_relaxed);
+                if (!push_request(target, req))
+                    continue; // dropped (counted); the outer loop
+                              // re-checks the phase per batch
+                assigned_[static_cast<size_t>(target)].fetch_add(
+                    1, std::memory_order_relaxed);
+                counters_.dispatched_total.fetch_add(
+                    1, std::memory_order_relaxed);
 #if defined(TQ_TELEMETRY_ENABLED)
-            telemetry::DispatcherTelemetry &dt = metrics_->dispatcher();
-            dt.dispatched.fetch_add(1, std::memory_order_relaxed);
-            dt.dispatch_cycles.add(dispatched_at - req.arrival_cycles);
-            dt.trace.record(telemetry::EventKind::JobDispatched, req.id,
-                            static_cast<uint32_t>(target));
+                telemetry::DispatcherTelemetry &dt =
+                    metrics_->dispatcher();
+                dt.dispatched.fetch_add(1, std::memory_order_relaxed);
+                dt.dispatch_cycles.add(dispatched_at -
+                                       req.arrival_cycles);
+                dt.trace.record(telemetry::EventKind::JobDispatched,
+                                req.id, static_cast<uint32_t>(target));
 #endif
+            }
         }
 #if defined(TQ_TELEMETRY_ENABLED)
         metrics_->dispatcher().batch_occupancy.add(n);

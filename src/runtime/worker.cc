@@ -190,6 +190,8 @@ Worker::complete(Task *task)
     resp.job_class = task->req.job_class;
     resp.worker = id_;
     resp.result = task->result;
+    resp.fanout = task->req.fanout;
+    resp.shard = task->req.shard;
     push_response(resp);
 
     // Publish to the dispatcher's cache line even when the response was

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arrival.h"
 #include "common/check.h"
 #include "common/dist.h"
 #include "common/rng.h"
@@ -317,11 +318,55 @@ class EngineCore
         events_.push(t, kind, core);
     }
 
-    /** Next Poisson arrival instant after @p from (consumes one draw). */
+    /**
+     * Next arrival instant after @p from. The default (no installed
+     * process) is the streaming Poisson draw — one exponential at the
+     * mean gap, byte-identical to the historical inline code so every
+     * figure bench replays unchanged. With set_arrival() the draw comes
+     * from the installed process (MMPP/on-off/diurnal) instead, using
+     * the same engine RNG so the service/arrival draw interleave stays
+     * a pure function of the seed.
+     */
     SimNanos
     next_arrival_after(SimNanos from)
     {
-        return from + rng_.exponential(1.0 / rate_);
+        const SimNanos t = arrival_ != nullptr
+                               ? arrival_->next(from, rng_)
+                               : from + rng_.exponential(1.0 / rate_);
+        if (arrival_trace_ != nullptr)
+            arrival_trace_->push_back(t);
+        return t;
+    }
+
+    /**
+     * Install a non-Poisson arrival process (Kind::Poisson uninstalls —
+     * the default inline draw is already exactly Poisson, and keeping
+     * it branch-local preserves the byte-identical replay guarantee).
+     */
+    void
+    set_arrival(const ArrivalSpec &spec)
+    {
+        arrival_ = spec.kind == ArrivalSpec::Kind::Poisson
+                       ? nullptr
+                       : make_arrival_process(spec, rate_);
+    }
+
+    /**
+     * Record every value next_arrival_after() returns (including the
+     * final past-duration overshoot draw) into @p trace; nullptr
+     * disables. The load generator records the same sequence, which is
+     * what the arrival-parity tests compare.
+     */
+    void set_arrival_trace(std::vector<double> *trace)
+    {
+        arrival_trace_ = trace;
+    }
+
+    /** Modulation phases entered by the installed process (0 = Poisson). */
+    uint64_t
+    arrival_phases_begun() const
+    {
+        return arrival_ != nullptr ? arrival_->phases_begun() : 0;
     }
 
     /**
@@ -381,6 +426,10 @@ class EngineCore
     SimNanos duration_;
     size_t max_in_flight_;
     bool stop_when_saturated_;
+
+    /** Installed non-Poisson arrival process (null = Poisson draw). */
+    std::unique_ptr<ArrivalProcess> arrival_;
+    std::vector<double> *arrival_trace_ = nullptr;
 
     Rng rng_;
     EventQueue events_;

@@ -45,6 +45,7 @@ class TwoLevelSim
         : cfg_(cfg),
           core_(dist, rate, cfg.seed, cfg.duration, cfg.max_in_flight,
                 cfg.stop_when_saturated, cfg.warmup),
+          fanout_(static_cast<uint32_t>(cfg.fanout)),
           cores_(static_cast<size_t>(cfg.num_cores)),
           assigned_(static_cast<size_t>(cfg.num_cores), 0),
           snap_finished_(static_cast<size_t>(cfg.num_cores), 0),
@@ -52,6 +53,9 @@ class TwoLevelSim
     {
         TQ_CHECK(cfg.num_cores > 0);
         TQ_CHECK(cfg.num_dispatchers > 0);
+        TQ_CHECK(cfg.fanout >= 1);
+        core_.set_arrival(cfg.arrival);
+        core_.set_arrival_trace(cfg.arrival_trace);
         dispatchers_.resize(static_cast<size_t>(cfg.num_dispatchers));
         if (!cfg_.class_quantum.empty())
             TQ_CHECK(cfg_.class_quantum.size() ==
@@ -92,6 +96,32 @@ class TwoLevelSim
   private:
     Job &job(uint32_t idx) { return core_.job(idx); }
 
+    // --------------------------------------------------------- units --
+    // Queues and core slots hold *units*: at fanout 1 a unit IS the
+    // arena index (same values, same arithmetic, byte-identical runs);
+    // at fanout k unit = idx * k + shard, with per-shard remaining and
+    // quanta kept in side arrays and the logical job completing when
+    // its last shard drains (scatter-gather, last-response-wins).
+    uint32_t
+    idx_of(uint32_t unit) const
+    {
+        return fanout_ == 1 ? unit : unit / fanout_;
+    }
+
+    double &
+    remaining_of(uint32_t unit)
+    {
+        return fanout_ == 1 ? job(unit).remaining
+                            : shard_remaining_[unit];
+    }
+
+    uint64_t
+    quanta_of(uint32_t unit)
+    {
+        return fanout_ == 1 ? job(unit).serviced_quanta
+                            : shard_quanta_[unit];
+    }
+
     // ------------------------------------------------------- arrivals --
     void
     on_arrival()
@@ -99,16 +129,41 @@ class TwoLevelSim
         const uint32_t idx =
             core_.try_admit(1.0 + cfg_.probe_overhead_frac);
         if (idx != EngineCore::kNoJob) {
-            // Spray arrivals round-robin over the dispatcher cores.
+            // Spray arrivals round-robin over the dispatcher cores; a
+            // fanned-out request's shards all cross the same dispatcher
+            // (one serial dispatch_cost each, like the real
+            // dispatcher's per-shard pick+push loop).
             const int d = static_cast<int>(
                 core_.arrivals() %
                 static_cast<uint64_t>(cfg_.num_dispatchers));
-            dispatchers_[static_cast<size_t>(d)].q.push_back(idx);
+            if (fanout_ > 1)
+                split_into_shards(idx);
+            for (uint32_t s = 0; s < fanout_; ++s)
+                dispatchers_[static_cast<size_t>(d)].q.push_back(
+                    idx * fanout_ + s);
             maybe_start_dispatch(d);
         }
         const SimNanos t = core_.next_arrival_after(core_.now());
         if (t < cfg_.duration)
             core_.schedule(t, kArrival, -1);
+    }
+
+    void
+    split_into_shards(uint32_t idx)
+    {
+        const size_t need = static_cast<size_t>(idx + 1) * fanout_;
+        if (shard_remaining_.size() < need) {
+            shard_remaining_.resize(need, 0);
+            shard_quanta_.resize(need, 0);
+        }
+        if (shards_live_.size() <= idx)
+            shards_live_.resize(static_cast<size_t>(idx) + 1, 0);
+        shards_live_[idx] = fanout_;
+        const double per_shard = job(idx).remaining / fanout_;
+        for (uint32_t s = 0; s < fanout_; ++s) {
+            shard_remaining_[idx * fanout_ + s] = per_shard;
+            shard_quanta_[idx * fanout_ + s] = 0;
+        }
     }
 
     void
@@ -128,16 +183,16 @@ class TwoLevelSim
     on_dispatch_done(int d)
     {
         Dispatcher &disp = dispatchers_[static_cast<size_t>(d)];
-        const uint32_t idx = disp.in_hand;
+        const uint32_t unit = disp.in_hand;
         disp.in_hand = kNone;
         disp.busy = false;
 
         const int target = pick_core();
         Core &core = cores_[static_cast<size_t>(target)];
-        core.runq.push_back(idx);
+        core.runq.push_back(unit);
         ++core.jobs;
         ++assigned_[static_cast<size_t>(target)];
-        core.quanta_sum += job(idx).serviced_quanta; // 0 for fresh jobs
+        core.quanta_sum += quanta_of(unit); // 0 for fresh units
         if (core.running == kNone)
             start_slice(target);
 
@@ -228,12 +283,18 @@ class TwoLevelSim
     }
 
     // ------------------------------------------------------- workers --
-    /** Service received so far (LAS priority key). */
+    /** Service received so far (LAS priority key), per unit. */
     double
-    attained(uint32_t idx)
+    attained(uint32_t unit)
     {
-        const Job &j = job(idx);
-        return j.demand * (1.0 + cfg_.probe_overhead_frac) - j.remaining;
+        if (fanout_ == 1) {
+            const Job &j = job(unit);
+            return j.demand * (1.0 + cfg_.probe_overhead_frac) -
+                   j.remaining;
+        }
+        const Job &j = job(idx_of(unit));
+        return j.demand * (1.0 + cfg_.probe_overhead_frac) / fanout_ -
+               shard_remaining_[unit];
     }
 
     SimNanos
@@ -270,11 +331,12 @@ class TwoLevelSim
             core.running = core.runq.front();
             core.runq.pop_front();
         }
-        Job &j = job(core.running);
+        const Job &j = job(idx_of(core.running));
+        const SimNanos remaining = remaining_of(core.running);
         const SimNanos slice =
             cfg_.core_policy == CorePolicy::Fcfs
-                ? j.remaining
-                : std::min(quantum_for(j), j.remaining);
+                ? remaining
+                : std::min(quantum_for(j), remaining);
         TQ_DCHECK(slice > 0);
         core.slice = slice;
         const SimNanos busy = slice + cfg_.overheads.switch_overhead;
@@ -289,28 +351,46 @@ class TwoLevelSim
     on_core_done(int c)
     {
         Core &core = cores_[static_cast<size_t>(c)];
-        const uint32_t idx = core.running;
+        const uint32_t unit = core.running;
         core.running = kNone;
-        Job &j = job(idx);
-        j.remaining -= core.slice;
+        double &remaining = remaining_of(unit);
+        remaining -= core.slice;
 
-        if (j.remaining <= 1e-9) {
-            // Done: response leaves directly from the worker.
+        if (remaining <= 1e-9) {
+            // Unit done: at fanout 1 the response leaves directly from
+            // the worker; a fanned-out request completes only when its
+            // LAST shard drains (scatter-gather gathers at the client).
             --core.jobs;
             ++core.finished;
-            core.quanta_sum -= j.serviced_quanta;
-            core_.complete(idx,
-                           core_.now() + cfg_.overheads.response_cost);
+            core.quanta_sum -= quanta_of(unit);
+            if (fanout_ == 1) {
+                core_.complete(unit, core_.now() +
+                                         cfg_.overheads.response_cost);
+            } else {
+                const uint32_t idx = idx_of(unit);
+                if (--shards_live_[idx] == 0)
+                    core_.complete(
+                        idx, core_.now() + cfg_.overheads.response_cost);
+            }
         } else {
-            ++j.serviced_quanta;
+            if (fanout_ == 1)
+                ++job(unit).serviced_quanta;
+            else
+                ++shard_quanta_[unit];
             ++core.quanta_sum;
-            core.runq.push_back(idx); // PS: back of the round-robin queue
+            core.runq.push_back(unit); // PS: back of the round-robin queue
         }
         start_slice(c);
     }
 
     const TwoLevelConfig &cfg_;
     EngineCore core_;
+    uint32_t fanout_;
+
+    /** Per-unit shard state, only populated at fanout > 1. */
+    std::vector<double> shard_remaining_;
+    std::vector<uint64_t> shard_quanta_;
+    std::vector<uint32_t> shards_live_; ///< per job index
 
     std::vector<Dispatcher> dispatchers_;
     std::vector<Core> cores_;

@@ -21,6 +21,7 @@
 #ifndef TQ_SIM_TWO_LEVEL_H
 #define TQ_SIM_TWO_LEVEL_H
 
+#include "common/arrival.h"
 #include "common/dist.h"
 #include "sim/metrics.h"
 #include "sim/overheads.h"
@@ -83,6 +84,32 @@ struct TwoLevelConfig
      * always knows its own assignments. 0 = refresh on every decision.
      */
     SimNanos stats_refresh_period = 0;
+
+    /**
+     * Arrival process (default Poisson, byte-identical to the
+     * historical stream). Value-typed so sweep configs stay copyable
+     * across threads; each run builds its own process instance.
+     */
+    ArrivalSpec arrival;
+
+    /**
+     * When non-null, every arrival draw (including the final
+     * past-duration overshoot) is appended here — the load generator
+     * records the same sequence, and the arrival-parity tests compare
+     * the two element for element. Not sweep-safe: points would share
+     * the vector, so only set it for single runs.
+     */
+    std::vector<double> *arrival_trace = nullptr;
+
+    /**
+     * Scatter-gather fan-out: each logical request splits into `fanout`
+     * shards of demand/fanout, the dispatcher places each shard
+     * independently (one dispatch_cost per shard, like the real
+     * dispatcher's per-shard pick+push), and the request completes when
+     * its last shard finishes. 1 = the classic single-shard path,
+     * byte-identical to the historical results.
+     */
+    int fanout = 1;
 
     SimNanos duration = ms(200); ///< arrival-generation window
     double warmup = 0.1;         ///< discarded sample prefix

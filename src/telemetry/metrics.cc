@@ -115,9 +115,16 @@ MetricsRegistry::snapshot() const
     }
     s.dispatch = summarize(dispatcher_.dispatch_cycles);
     s.sojourn = summarize(client_.sojourn_cycles);
+    s.fanout_spread = summarize(client_.fanout_spread_cycles);
     s.queueing = summarize_merged(queue);
     s.service = summarize_merged(service);
     s.preempt = summarize_merged(preempt);
+    s.burst_phases = client_.burst_inflight.count();
+    if (s.burst_phases > 0)
+        s.mean_burst_inflight =
+            static_cast<double>(client_.burst_inflight.sum()) /
+            static_cast<double>(s.burst_phases);
+    s.burst_inflight_hist = client_.burst_inflight.snapshot();
     return s;
 }
 
@@ -163,6 +170,13 @@ MetricsSnapshot::to_string() const
                   static_cast<unsigned long long>(dispatch_batches),
                   mean_dispatch_batch);
     out += buf;
+    if (burst_phases > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "burst phases: %llu (mean in-flight %.2f)\n",
+                      static_cast<unsigned long long>(burst_phases),
+                      mean_burst_inflight);
+        out += buf;
+    }
     std::snprintf(
         buf, sizeof(buf),
         "backpressure: tx-full spins %llu, dispatch-full spins %llu, "
@@ -184,6 +198,8 @@ MetricsSnapshot::to_string() const
     row("service", service);
     row("preempt", preempt);
     row("sojourn", sojourn);
+    if (fanout_spread.count > 0)
+        row("fanout-spread", fanout_spread);
     return out;
 }
 

@@ -172,6 +172,17 @@ class ClientTelemetry
     std::atomic<uint64_t> completed{0};     ///< responses drained
 
     CycleHistogram sojourn_cycles; ///< dispatcher arrival -> completion
+
+    /** Last-minus-first shard completion spread per gathered fan-out
+     *  request (cycles); empty for single-shard traffic. */
+    CycleHistogram fanout_spread_cycles;
+
+    /** In-flight requests sampled at each arrival-process phase
+     *  boundary (CycleHistogram reused as a generic log2 value
+     *  histogram, like batch_occupancy: count = phases begun, sum =
+     *  in-flight total, so sum/count is the mean per-phase burst
+     *  occupancy). Empty under plain Poisson arrivals. */
+    CycleHistogram burst_inflight;
 };
 
 /** Summary of one histogram-backed pipeline stage, in nanoseconds. */
@@ -223,6 +234,15 @@ struct MetricsSnapshot
     StageStats service;  ///< sum of slice durations per job
     StageStats preempt;  ///< per-preemption deadline overshoot
     StageStats sojourn;  ///< client-observed arrival -> completion
+    /** Shard completion spread per gathered fan-out request (empty for
+     *  single-shard traffic). */
+    StageStats fanout_spread;
+
+    uint64_t burst_phases = 0;      ///< arrival-process phases begun
+    double mean_burst_inflight = 0; ///< mean in-flight at phase starts
+    /** In-flight-at-phase-boundary distribution (log2 buckets over
+     *  request counts, not cycles; ClientTelemetry::burst_inflight). */
+    LogHistogram burst_inflight_hist{1, CycleHistogram::kBuckets};
 
     /** Multi-line human-readable rendering (used by benches/tools). */
     std::string to_string() const;

@@ -8,6 +8,12 @@
 
 namespace tq::workloads {
 
+ZipfKeyGen::ZipfKeyGen(uint64_t num_keys, double s)
+    : zipf_(num_keys, s), mask_(num_keys - 1)
+{
+    TQ_CHECK(num_keys > 0 && (num_keys & (num_keys - 1)) == 0);
+}
+
 /**
  * Skiplist node: key, value pointer, and a variable-height tower of
  * forward pointers, allocated in one block like LevelDB/RocksDB do.

@@ -22,8 +22,56 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/zipf.h"
 
 namespace tq::workloads {
+
+/**
+ * Zipfian hot-key generator for MiniKV request streams (the paper's
+ * skewed YCSB-style point-lookup mix).
+ *
+ * Zipf ranks are popularity order, but a store loaded with sequential
+ * keys would then concentrate all hot keys in one skiplist region —
+ * unrealistically cache-friendly. The generator therefore scatters
+ * ranks over the keyspace with a fixed odd-multiplier hash (a bijection
+ * on [0, n) for power-of-two n), so the hot set is spread across the
+ * structure while each rank still maps to one stable key.
+ */
+class ZipfKeyGen
+{
+  public:
+    /**
+     * @param num_keys keyspace size; must be a power of two (the rank
+     *     scramble is only bijective then).
+     * @param s Zipf skew (s = 0 uniform; s ~ 0.99 is the YCSB default).
+     */
+    ZipfKeyGen(uint64_t num_keys, double s);
+
+    /** Sample a key in [0, num_keys): Zipf rank, then scrambled. */
+    uint64_t
+    sample_key(Rng &rng) const
+    {
+        return scramble(zipf_.sample(rng));
+    }
+
+    /** The stable key rank @p rank maps to (rank 0 is hottest). */
+    uint64_t
+    scramble(uint64_t rank) const
+    {
+        return (rank * kMult) & mask_;
+    }
+
+    uint64_t num_keys() const { return zipf_.n(); }
+    const Zipf &dist() const { return zipf_; }
+
+  private:
+    /** Odd multiplier (from splitmix64's mixer): odd => invertible
+     *  mod 2^k, so ranks map 1:1 onto the keyspace. */
+    static constexpr uint64_t kMult = 0xbf58476d1ce4e5b9ULL;
+
+    Zipf zipf_;
+    uint64_t mask_;
+};
 
 /** Ordered in-memory KV store with probed GET/SCAN operations. */
 class MiniKV

@@ -10,12 +10,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/arrival.h"
 #include "common/cycles.h"
 #include "common/dist.h"
 #include "common/histogram.h"
 #include "common/percentile.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "common/zipf.h"
 
 namespace tq {
 namespace {
@@ -264,6 +266,205 @@ TEST(LogHistogram, FractionAbove)
         h.add(100000);
     EXPECT_NEAR(h.fraction_above(8192), 0.10, 1e-9);
     EXPECT_NEAR(h.fraction_above(64), 1.0, 1e-9); // bucket straddles
+}
+
+TEST(OnOffProcess, DeterministicForSameSeed)
+{
+    OnOffConfig cfg; // defaults: exponential phases (2-state MMPP)
+    OnOffProcess a(1e-3, cfg), b(1e-3, cfg);
+    Rng ra(7), rb(7);
+    double ta = 0, tb = 0;
+    for (int i = 0; i < 5000; ++i) {
+        ta = a.next(ta, ra);
+        tb = b.next(tb, rb);
+        ASSERT_DOUBLE_EQ(ta, tb);
+        ASSERT_GT(ta, 0.0);
+    }
+    EXPECT_EQ(a.phases_begun(), b.phases_begun());
+    EXPECT_GT(a.phases_begun(), 0u);
+}
+
+// Regression (zero-rate phases): a fully silent OFF phase used to be a
+// division hazard for gap-based samplers (gap = exp / rate with
+// rate = 0). The inversion sampler steps over zero-capacity phases
+// without dividing: every draw must come back finite, strictly
+// increasing, and inside an ON window.
+TEST(OnOffProcess, ZeroRateOffPhasesAreSkippedWithoutDivision)
+{
+    OnOffConfig cfg;
+    cfg.on_mult = 1.0;
+    cfg.off_mult = 0.0; // fully silent
+    cfg.on_ns = 100.0;
+    cfg.off_ns = 900.0;
+    cfg.exponential_phases = false; // deterministic windows
+    OnOffProcess p(1.0, cfg);       // ~100 arrivals per ON window
+    Rng rng(3);
+    double t = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double prev = t;
+        t = p.next(t, rng);
+        ASSERT_TRUE(std::isfinite(t));
+        ASSERT_GT(t, prev);
+        // ON windows are [1000k, 1000k + 100).
+        const double in_cycle = std::fmod(t, 1000.0);
+        ASSERT_LT(in_cycle, 100.0) << "arrival in a silent phase at " << t;
+    }
+}
+
+// Near-zero (subnormal-adjacent) OFF rates must neither spin for an
+// unbounded number of phases nor emit bursts inside the OFF windows.
+TEST(OnOffProcess, NearZeroOffRateStaysFiniteAndOrdered)
+{
+    OnOffConfig cfg;
+    cfg.on_mult = 2.0;
+    cfg.off_mult = 1e-300;
+    cfg.on_ns = 50e3;
+    cfg.off_ns = 50e3;
+    OnOffProcess p(1e-3, cfg);
+    Rng rng(11);
+    double t = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const double prev = t;
+        t = p.next(t, rng);
+        ASSERT_TRUE(std::isfinite(t));
+        ASSERT_GT(t, prev);
+    }
+}
+
+// Full-amplitude diurnal ramp: the trough multiplier touches zero
+// (phase rate 0) — the sampler must step over trough phases exactly
+// like silent OFF phases.
+TEST(OnOffProcess, FullAmplitudeRampTroughDoesNotStall)
+{
+    OnOffConfig cfg;
+    cfg.on_mult = 1.0;
+    cfg.off_mult = 1.0; // pure diurnal modulation
+    cfg.on_ns = 1e3;
+    cfg.off_ns = 1e3;
+    cfg.exponential_phases = false;
+    cfg.ramp_period_ns = 100e3;
+    cfg.ramp_amplitude = 1.0;
+    OnOffProcess p(1e-2, cfg);
+    Rng rng(5);
+    double t = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double prev = t;
+        t = p.next(t, rng);
+        ASSERT_TRUE(std::isfinite(t));
+        ASSERT_GT(t, prev);
+    }
+}
+
+TEST(OnOffProcess, LongRunRateMatchesDutyCycleMean)
+{
+    OnOffConfig cfg;
+    cfg.on_mult = 3.0;
+    cfg.off_mult = 0.5;
+    cfg.on_ns = 20e3;
+    cfg.off_ns = 60e3;
+    OnOffProcess p(1e-3, cfg);
+    // mean = 1e-3 * (3 * 20 + 0.5 * 60) / 80 = 1.125e-3
+    EXPECT_NEAR(p.mean_rate(), 1.125e-3, 1e-12);
+    Rng rng(17);
+    double t = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        t = p.next(t, rng);
+    const double empirical = n / t;
+    EXPECT_NEAR(empirical, p.mean_rate(), 0.05 * p.mean_rate());
+}
+
+TEST(ArrivalSpec, FactoryBuildsTheRequestedProcess)
+{
+    ArrivalSpec spec; // default Poisson
+    const auto poisson = make_arrival_process(spec, 2e-3);
+    EXPECT_DOUBLE_EQ(poisson->mean_rate(), 2e-3);
+    EXPECT_EQ(poisson->phases_begun(), 0u);
+    // Poisson draws are value-for-value the historical inline code:
+    // one exponential at the mean gap (500ns at 2e-3/ns).
+    Rng a(9), b(9);
+    double t = 0, u = 0;
+    for (int i = 0; i < 100; ++i) {
+        t = poisson->next(t, a);
+        u += b.exponential(500.0);
+        ASSERT_DOUBLE_EQ(t, u);
+    }
+    spec.kind = ArrivalSpec::Kind::OnOff;
+    const auto onoff = make_arrival_process(spec, 2e-3);
+    Rng c(1);
+    onoff->next(0.0, c);
+    EXPECT_GT(onoff->phases_begun(), 0u);
+}
+
+TEST(Zipf, FrequenciesMatchPmf)
+{
+    const uint64_t n = 16;
+    Zipf z(n, 1.2);
+    Rng rng(23);
+    std::vector<uint64_t> counts(n, 0);
+    const int samples = 200000;
+    for (int i = 0; i < samples; ++i) {
+        const uint64_t r = z.sample(rng);
+        ASSERT_LT(r, n);
+        ++counts[r];
+    }
+    double pmf_sum = 0;
+    for (uint64_t r = 0; r < n; ++r) {
+        const double expected = z.pmf(r);
+        pmf_sum += expected;
+        const double observed =
+            static_cast<double>(counts[r]) / samples;
+        EXPECT_NEAR(observed, expected, 0.05 * expected + 0.002)
+            << "rank " << r;
+    }
+    EXPECT_NEAR(pmf_sum, 1.0, 1e-9);
+    // Monotone popularity: rank 0 is the hottest.
+    for (uint64_t r = 1; r < n; ++r)
+        EXPECT_GE(counts[r - 1], counts[r] / 2);
+}
+
+// Regression (s -> 1 precision): the naive h-integral
+// (x^(1-s) - 1) / (1 - s) is 0/0 at s = 1. The rejection-inversion
+// helpers switch to expm1/log1p forms, so the distribution must vary
+// continuously through s = 1 instead of collapsing or NaN-ing.
+TEST(Zipf, ContinuousThroughSEqualsOne)
+{
+    const uint64_t n = 1024;
+    const double eps = 1e-12; // well inside double rounding of 1 - s
+    Zipf below(n, 1.0 - eps), at(n, 1.0), above(n, 1.0 + eps);
+    for (uint64_t r : {uint64_t{0}, uint64_t{1}, uint64_t{7},
+                       uint64_t{511}, n - 1}) {
+        const double p = at.pmf(r);
+        ASSERT_TRUE(std::isfinite(p));
+        ASSERT_GT(p, 0.0);
+        EXPECT_NEAR(below.pmf(r), p, 1e-6 * p);
+        EXPECT_NEAR(above.pmf(r), p, 1e-6 * p);
+    }
+    // Sampling at exactly s = 1 stays in range and hits the head hard.
+    Rng rng(31);
+    uint64_t head = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+        const uint64_t r = at.sample(rng);
+        ASSERT_LT(r, n);
+        head += r == 0;
+    }
+    // pmf(0) at s=1, n=1024 is 1/H_1024 ~ 0.133.
+    EXPECT_NEAR(static_cast<double>(head) / samples, at.pmf(0),
+                0.25 * at.pmf(0));
+}
+
+TEST(Zipf, DegenerateCases)
+{
+    Zipf one(1, 0.99);
+    EXPECT_DOUBLE_EQ(one.pmf(0), 1.0);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(one.sample(rng), 0u);
+    // s = 0 is the uniform distribution.
+    Zipf uniform(64, 0.0);
+    for (uint64_t r = 0; r < 64; ++r)
+        EXPECT_NEAR(uniform.pmf(r), 1.0 / 64, 1e-12);
 }
 
 TEST(Cycles, MonotonicAndCalibrated)

@@ -18,7 +18,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/dist.h"
+#include "common/units.h"
 #include "fault/fault.h"
+#include "net/loadgen.h"
+#include "net/runtime_server.h"
 #include "runtime/runtime.h"
 
 namespace tq {
@@ -258,6 +262,107 @@ TEST_F(FaultTest, RingFullBurstDropsAreBoundedAndCounted)
     EXPECT_EQ(leftovers.size() + rt.dropped_responses() +
                   rt.abandoned_jobs(),
               accepted);
+}
+
+// Regression (backpressure attribution): under a ring-full burst with a
+// live worker, every accepted job FINISHES — so the overflow must be
+// charged to dropped_responses (with the spin budget paid in
+// tx_ring_full_spins first), and abandoned_jobs must stay exactly zero.
+// The two counters partition distinct fates: a job is dropped only
+// after it ran, abandoned only if it never did; one job can never be
+// both.
+TEST_F(FaultTest, RingFullBurstChargesDropsNotAbandons)
+{
+    if (!fault::kEnabled)
+        GTEST_SKIP() << "hook sites compiled out (TQ_FAULT_INJECTION=OFF)";
+
+    FaultInjector::instance().stall(Site::WorkerComplete, 100.0);
+
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.ring_capacity = 4;
+    cfg.push_spin_limit = 64;
+    cfg.work = runtime::WorkPolicy::Fcfs;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload;
+    });
+    rt.start();
+
+    // Pace submissions so the dispatch ring never overflows (the worker
+    // clears a job per ~100us stall): the ONLY full ring is TX, which
+    // nobody collects.
+    constexpr uint64_t kJobs = 32;
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < kJobs; ++i) {
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+            if (rt.submit(make_req(i))) {
+                ++accepted;
+                break;
+            }
+            std::this_thread::yield();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    ASSERT_EQ(accepted, kJobs);
+
+    // Clean drain (no forced stop): the worker finishes every job.
+    rt.drain(/*deadline_sec=*/30.0);
+    EXPECT_EQ(rt.lifecycle(), runtime::Lifecycle::Stopped);
+
+    std::vector<runtime::Response> leftovers;
+    rt.drain_responses(leftovers);
+    // Disjoint attribution: finished jobs are delivered or dropped;
+    // nothing was abandoned, and the partition is exact.
+    EXPECT_EQ(rt.abandoned_jobs(), 0u);
+    EXPECT_EQ(leftovers.size() + rt.dropped_responses(), accepted);
+    // The 4-slot ring forces most completions into the drop path.
+    EXPECT_GE(rt.dropped_responses(), accepted - cfg.ring_capacity);
+    // Every running-phase drop paid its full spin budget first.
+    EXPECT_GE(rt.tx_ring_full_spins(),
+              cfg.push_spin_limit * rt.dropped_responses());
+}
+
+// Chaos under burst (CI composition scenario): seeded yields at every
+// fault site while an MMPP/on-off arrival schedule drives the runtime
+// through alternating silence and 4x bursts. Accounting must stay
+// conservation-exact end to end.
+TEST_F(FaultTest, ChaosUnderMmppBurstRoundTrips)
+{
+    if (!fault::kEnabled)
+        GTEST_SKIP() << "hook sites compiled out (TQ_FAULT_INJECTION=OFF)";
+
+    auto &inj = FaultInjector::instance();
+    inj.seed(99);
+    for (int s = 0; s < static_cast<int>(Site::kCount); ++s)
+        inj.yield_every(static_cast<Site>(s), 4);
+
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    runtime::Runtime rt(cfg, [](const runtime::Request &req) {
+        return req.payload;
+    });
+    rt.start();
+    net::RuntimeServer server(rt);
+
+    FixedDist dist(us(1), "spin");
+    net::LoadGenConfig lg;
+    lg.rate_mrps = 0.01;
+    lg.duration_sec = 0.1;
+    lg.seed = 5;
+    lg.arrival.kind = ArrivalSpec::Kind::OnOff;
+    lg.arrival.onoff.on_mult = 4.0;
+    lg.arrival.onoff.off_mult = 0.0; // fully silent troughs
+    const net::ClientStats stats = net::run_open_loop(
+        server, dist, net::spin_request_factory(), lg);
+
+    EXPECT_TRUE(rt.drain(30.0));
+    EXPECT_GT(stats.submitted, 100u);
+    EXPECT_EQ(stats.completed, stats.submitted);
+    EXPECT_EQ(stats.timed_out, 0u);
+    EXPECT_EQ(rt.abandoned_jobs(), 0u);
+    EXPECT_EQ(rt.dropped_responses(), 0u);
+    EXPECT_GT(inj.visits(Site::LoadgenSend), 0u);
+    EXPECT_GT(inj.visits(Site::LoadgenCollect), 0u);
 }
 
 // Seeded chaos everywhere: deterministic yields at every site shake

@@ -192,6 +192,107 @@ TEST(Integration, MeasuredCiOverheadDegradesSimulatedCapacity)
     EXPECT_GT(cap_ci, 0.0);
 }
 
+// Arrival parity (scenario diversity tentpole): a seeded MMPP schedule
+// must produce the identical arrival-time sequence through the real
+// runtime's load generator and through the discrete-event simulator —
+// same seed, same spec, same draw interleave, compared to the last bit.
+TEST(Integration, MmppArrivalSequenceIdenticalAcrossRuntimeAndSim)
+{
+    constexpr double kRateMrps = 0.02;
+    constexpr double kDurationSec = 0.05;
+    constexpr uint64_t kSeed = 7;
+    ArrivalSpec spec;
+    spec.kind = ArrivalSpec::Kind::OnOff;
+    spec.onoff.on_mult = 4.0;
+    spec.onoff.off_mult = 0.25;
+
+    std::vector<double> send_trace;
+    {
+        RuntimeConfig cfg;
+        cfg.num_workers = 2;
+        Runtime rt(cfg, [](const Request &req) {
+            workloads::spin_for(static_cast<double>(req.payload));
+            return req.id;
+        });
+        rt.start();
+        net::RuntimeServer server(rt);
+        FixedDist dist(us(1), "spin");
+        net::LoadGenConfig lg;
+        lg.rate_mrps = kRateMrps;
+        lg.duration_sec = kDurationSec;
+        lg.seed = kSeed;
+        lg.arrival = spec;
+        lg.send_trace = &send_trace;
+        lg.metrics = &rt.metrics();
+        const net::ClientStats stats = net::run_open_loop(
+            server, dist, net::spin_request_factory(), lg);
+        rt.stop();
+        EXPECT_EQ(stats.completed, stats.submitted);
+        EXPECT_EQ(stats.send_failures, 0u);
+#if defined(TQ_TELEMETRY_ENABLED)
+        // Phase boundaries were crossed, so the per-phase burst
+        // occupancy histogram is populated.
+        EXPECT_GT(rt.telemetry_snapshot().burst_phases, 0u);
+#endif
+    }
+
+    std::vector<double> sim_trace;
+    {
+        FixedDist dist(us(1), "spin");
+        sim::TwoLevelConfig cfg;
+        cfg.duration = kDurationSec * 1e9;
+        cfg.seed = kSeed;
+        cfg.arrival = spec;
+        cfg.arrival_trace = &sim_trace;
+        const sim::SimResult r =
+            sim::run_two_level(cfg, dist, mrps(kRateMrps));
+        EXPECT_FALSE(r.saturated); // a drop would skip a service draw
+    }
+
+    ASSERT_GT(send_trace.size(), 100u);
+    ASSERT_EQ(send_trace.size(), sim_trace.size());
+    for (size_t i = 0; i < send_trace.size(); ++i)
+        ASSERT_DOUBLE_EQ(send_trace[i], sim_trace[i]);
+}
+
+// Scatter-gather through the real dispatcher: every logical request is
+// expanded into k shards (each dispatched with its own policy pick),
+// the client gathers them, and stats stay in logical units.
+TEST(Integration, FanoutRequestsGatherOnRealRuntime)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 4;
+    Runtime rt(cfg, [](const Request &req) {
+        workloads::spin_for(static_cast<double>(req.payload));
+        return req.id;
+    });
+    rt.start();
+    net::RuntimeServer server(rt);
+
+    FixedDist dist(us(1), "spin");
+    net::LoadGenConfig lg;
+    lg.rate_mrps = 0.005;
+    lg.duration_sec = 0.1;
+    lg.fanout = 4;
+    lg.metrics = &rt.metrics();
+    const net::ClientStats stats = net::run_open_loop(
+        server, dist, net::spin_request_factory(), lg);
+
+    EXPECT_GT(stats.submitted, 100u);
+    EXPECT_EQ(stats.send_failures, 0u);
+    EXPECT_EQ(stats.completed, stats.submitted);
+    EXPECT_EQ(stats.timed_out, 0u);
+    // The dispatcher saw one pick+push per shard.
+    EXPECT_EQ(rt.dispatched(), stats.submitted * 4);
+    rt.stop();
+#if defined(TQ_TELEMETRY_ENABLED)
+    const telemetry::MetricsSnapshot snap = rt.telemetry_snapshot();
+    // One spread sample per gathered logical request.
+    EXPECT_EQ(snap.fanout_spread.count, stats.completed);
+    EXPECT_EQ(snap.finished, stats.submitted * 4);
+#endif
+}
+
 TEST(Integration, CentralizedAndTwoLevelAgreeOnResults)
 {
     // Same handler, same requests, two real scheduling architectures:

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <thread>
 
 #include "net/loadgen.h"
@@ -371,6 +372,69 @@ TEST(Lifecycle, StopWithUndrainedTxRingReturns)
                   rt.abandoned_jobs(),
               accepted);
     EXPECT_GT(rt.dropped_responses() + rt.abandoned_jobs(), 0u);
+}
+
+// Regression: jobs submitted before start() (legal — submit is accepted
+// in Created) used to vanish when the runtime was torn down without
+// ever starting: drain() reported a clean shutdown while the RX ring
+// still held the requests and no counter mentioned them. They must
+// surface as abandoned, and the drain must not claim to be clean.
+TEST(Lifecycle, NeverStartedRuntimeAbandonsQueuedJobs)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    constexpr uint64_t kJobs = 8;
+    {
+        Runtime rt(cfg, spin_handler());
+        for (uint64_t i = 0; i < kJobs; ++i)
+            ASSERT_TRUE(rt.submit(make_spin_request(i, 1000)));
+        EXPECT_FALSE(rt.drain(/*deadline_sec=*/1.0))
+            << "queued jobs were lost; the drain must not report clean";
+        EXPECT_EQ(rt.lifecycle(), Lifecycle::Stopped);
+        EXPECT_EQ(rt.abandoned_jobs(), kJobs);
+        EXPECT_EQ(rt.dropped_responses(), 0u);
+    }
+    // A never-started runtime with nothing queued drains clean.
+    Runtime idle(cfg, spin_handler());
+    EXPECT_TRUE(idle.drain(/*deadline_sec=*/1.0));
+    EXPECT_EQ(idle.abandoned_jobs(), 0u);
+}
+
+// The dispatcher expands a fanout-k request into k shard dispatches,
+// each with its own policy pick; every (id, shard) pair must come back
+// exactly once.
+TEST(Runtime, DispatcherExpandsFanoutIntoShards)
+{
+    RuntimeConfig cfg;
+    cfg.num_workers = 4;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+    constexpr uint64_t kJobs = 32;
+    constexpr uint32_t kFanout = 3;
+    for (uint64_t i = 0; i < kJobs; ++i) {
+        Request req = make_spin_request(i, 1000);
+        req.fanout = kFanout;
+        while (!rt.submit(req))
+            std::this_thread::yield();
+    }
+    std::vector<Response> responses;
+    const Cycles deadline = rdcycles() + ns_to_cycles(60e9);
+    while (responses.size() < kJobs * kFanout && rdcycles() < deadline) {
+        rt.drain_responses(responses);
+        std::this_thread::yield();
+    }
+    ASSERT_EQ(responses.size(), kJobs * kFanout);
+    EXPECT_EQ(rt.dispatched(), kJobs * kFanout);
+    std::map<uint64_t, std::set<uint32_t>> shards;
+    for (const auto &r : responses) {
+        EXPECT_EQ(r.fanout, kFanout);
+        EXPECT_TRUE(shards[r.id].insert(r.shard).second)
+            << "duplicate shard " << r.shard << " of id " << r.id;
+    }
+    ASSERT_EQ(shards.size(), kJobs);
+    for (const auto &[id, s] : shards)
+        EXPECT_EQ(s.size(), kFanout);
+    rt.stop();
 }
 
 TEST(Lifecycle, DrainFinishesQueuedJobsBeforeJoining)

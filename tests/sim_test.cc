@@ -209,6 +209,109 @@ TEST(TwoLevel, DeterministicAcrossRuns)
     EXPECT_DOUBLE_EQ(a.overall_p999_slowdown, b.overall_p999_slowdown);
 }
 
+TEST(TwoLevel, MmppArrivalsAreDeterministicAndTraced)
+{
+    FixedDist dist(us(1));
+    TwoLevelConfig cfg = tl_config();
+    cfg.duration = ms(5);
+    cfg.arrival.kind = ArrivalSpec::Kind::OnOff;
+    cfg.arrival.onoff.on_mult = 4.0;
+    cfg.arrival.onoff.off_mult = 0.25;
+
+    std::vector<double> trace_a, trace_b;
+    cfg.arrival_trace = &trace_a;
+    const SimResult a = run_two_level(cfg, dist, mrps(0.5));
+    cfg.arrival_trace = &trace_b;
+    const SimResult b = run_two_level(cfg, dist, mrps(0.5));
+
+    EXPECT_FALSE(a.saturated);
+    EXPECT_EQ(a.completed, b.completed);
+    ASSERT_GT(trace_a.size(), 100u);
+    ASSERT_EQ(trace_a.size(), trace_b.size());
+    for (size_t i = 0; i < trace_a.size(); ++i)
+        ASSERT_DOUBLE_EQ(trace_a[i], trace_b[i]);
+    // Every draw but the final overshoot lands inside the window.
+    for (size_t i = 0; i + 1 < trace_a.size(); ++i)
+        ASSERT_LT(trace_a[i], cfg.duration);
+    EXPECT_GE(trace_a.back(), cfg.duration);
+}
+
+// Arrival-parity oracle: the engine's recorded arrival sequence must be
+// reproducible by hand from a standalone OnOffProcess and the service
+// distribution with the engine's draw interleave — initial gap, then
+// (service sample, next gap) per in-window arrival. This pins the RNG
+// contract the runtime loadgen relies on for cross-stack parity.
+TEST(TwoLevel, MmppTraceMatchesStandaloneReplay)
+{
+    FixedDist dist(us(1));
+    TwoLevelConfig cfg = tl_config();
+    cfg.duration = ms(5);
+    cfg.arrival.kind = ArrivalSpec::Kind::OnOff; // default MMPP shape
+
+    std::vector<double> trace;
+    cfg.arrival_trace = &trace;
+    const SimResult r = run_two_level(cfg, dist, mrps(0.3));
+    ASSERT_FALSE(r.saturated); // drops would skip service draws
+    ASSERT_GT(trace.size(), 10u);
+
+    Rng rng(cfg.seed);
+    OnOffProcess proc(mrps(0.3), cfg.arrival.onoff);
+    std::vector<double> replay;
+    double t = proc.next(0.0, rng);
+    replay.push_back(t);
+    while (t < cfg.duration) {
+        dist.sample(rng);
+        t = proc.next(t, rng);
+        replay.push_back(t);
+    }
+    ASSERT_EQ(trace.size(), replay.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        ASSERT_DOUBLE_EQ(trace[i], replay[i]);
+}
+
+// fanout = 1 takes the classic unit == index path: a config that spells
+// out the defaults replays byte-identically against the seed baseline.
+TEST(TwoLevel, FanoutOneReplaysIdenticallyToDefault)
+{
+    auto dist = workload_table::high_bimodal();
+    TwoLevelConfig base = tl_config();
+    const SimResult a = run_two_level(base, *dist, mrps(0.2));
+
+    TwoLevelConfig explicit_cfg = tl_config();
+    explicit_cfg.fanout = 1;
+    explicit_cfg.arrival.kind = ArrivalSpec::Kind::Poisson;
+    const SimResult b = run_two_level(explicit_cfg, *dist, mrps(0.2));
+
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+    EXPECT_DOUBLE_EQ(a.overall_p999_slowdown, b.overall_p999_slowdown);
+    EXPECT_DOUBLE_EQ(a.overall_mean_slowdown, b.overall_mean_slowdown);
+}
+
+// Scatter-gather: k shards of demand/k running in parallel finish a
+// lightly loaded job faster than one serial unit, and the logical
+// completion (last shard) conserves the arrival count.
+TEST(TwoLevel, FanoutParallelismShortensLogicalSojourn)
+{
+    FixedDist dist(us(8));
+    TwoLevelConfig serial = tl_config();
+    serial.duration = ms(10);
+    const SimResult one = run_two_level(serial, dist, mrps(0.2));
+
+    TwoLevelConfig fan = serial;
+    fan.fanout = 4;
+    const SimResult four = run_two_level(fan, dist, mrps(0.2));
+
+    EXPECT_FALSE(one.saturated);
+    EXPECT_FALSE(four.saturated);
+    // Same seed, same arrival draws => the same jobs arrive.
+    EXPECT_EQ(one.completed, four.completed);
+    EXPECT_GT(four.completed, 0u);
+    // 4 x 2us shards in parallel beat one 8us unit.
+    EXPECT_LT(four.overall_mean_slowdown,
+              0.75 * one.overall_mean_slowdown);
+}
+
 TEST(TwoLevel, StaleCounterReadsDegradeJsqGracefully)
 {
     // Paper section 4: the dispatcher reads worker counters

@@ -291,5 +291,48 @@ TEST(Spin, PreemptableAndAccountsOnlyConsumedTime)
     EXPECT_GE(running_ns, 90'000.0);
 }
 
+// ---------------------------------------------------------- ZipfKeyGen --
+
+TEST(ZipfKeyGen, ScrambleIsABijectionOnTheKeyspace)
+{
+    const uint64_t n = 1024;
+    ZipfKeyGen gen(n, 0.99);
+    std::vector<bool> seen(n, false);
+    for (uint64_t rank = 0; rank < n; ++rank) {
+        const uint64_t key = gen.scramble(rank);
+        ASSERT_LT(key, n);
+        ASSERT_FALSE(seen[key]) << "rank " << rank << " collides";
+        seen[key] = true;
+    }
+}
+
+TEST(ZipfKeyGen, HotKeysDominateAndHitLoadedStore)
+{
+    const uint64_t n = 4096;
+    ZipfKeyGen gen(n, 0.99);
+    MiniKV kv(3, 64);
+    kv.load_sequential(n);
+    Rng rng(41);
+    std::map<uint64_t, uint64_t> counts;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i) {
+        const uint64_t key = gen.sample_key(rng);
+        ASSERT_LT(key, n);
+        ++counts[key];
+        if (i < 200) // every sampled key must exist in the store
+            EXPECT_TRUE(kv.get(key, nullptr)) << key;
+    }
+    // The hottest key is rank 0's stable image and towers over the
+    // median key (YCSB-style skew at s = 0.99).
+    const uint64_t hottest = counts[gen.scramble(0)];
+    EXPECT_NEAR(static_cast<double>(hottest) / samples,
+                gen.dist().pmf(0), 0.25 * gen.dist().pmf(0));
+    uint64_t above_mean = 0;
+    for (const auto &[key, c] : counts)
+        above_mean += c > samples / n;
+    // Skew: far fewer than half the touched keys sit above the mean.
+    EXPECT_LT(above_mean, counts.size() / 2);
+}
+
 } // namespace
 } // namespace tq::workloads

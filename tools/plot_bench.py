@@ -16,7 +16,9 @@ A .json input is treated as a recorded calibration run and dispatched
 on its keys: dispatcher_throughput rows (BENCH_dispatch.json) become a
 grouped before/after Mrps bar chart plus a speedup series;
 event_queue_hold rows (BENCH_sim.json) become legacy-vs-new events/sec
-bars over queue size plus the per-bench figure-suite speedup chart.
+bars over queue size plus the per-bench figure-suite speedup chart;
+a scenarios document (BENCH_scenarios.json) becomes baseline-vs-bursty
+p999 bars plus the fan-out sojourn curves.
 
 Usage:
     build/bench/fig01_quantum_slowdown | tools/plot_bench.py -o fig01.png
@@ -161,6 +163,66 @@ def plot_sim_json(path, output):
     print(f"wrote {output}")
 
 
+def plot_scenarios_json(path, output):
+    """Render BENCH_scenarios.json: burst/zipf tail bars + fan-out."""
+    with open(path) as f:
+        data = json.load(f)
+    sc = data["scenarios"]
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(1, 2, figsize=(12, 4.5), squeeze=False)
+
+    ax = axes[0][0]
+    pairs = [
+        ("burst (sim)", sc["burst_sim"]["poisson_p999_us"],
+         sc["burst_sim"]["mmpp_p999_us"]),
+        ("burst (runtime)", sc["burst_runtime"]["poisson_p999_us"],
+         sc["burst_runtime"]["mmpp_p999_us"]),
+        ("minikv (runtime)", sc["zipf_minikv"]["uniform_p999_us"],
+         sc["zipf_minikv"]["zipf_p999_us"]),
+    ]
+    xs = range(len(pairs))
+    width = 0.38
+    ax.bar([x - width / 2 for x in xs], [p[1] for p in pairs], width,
+           label="smooth baseline")
+    ax.bar([x + width / 2 for x in xs], [p[2] for p in pairs], width,
+           label="bursty / skewed")
+    for x, p in zip(xs, pairs):
+        if p[1] > 0:
+            ax.annotate(f"{p[2] / p[1]:.2f}x", (x + width / 2, p[2]),
+                        ha="center", va="bottom", fontsize=8)
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels([p[0] for p in pairs], fontsize=8)
+    ax.set_ylabel("p999 sojourn (us)")
+    ax.set_yscale("log")
+    ax.set_title("tail under MMPP bursts / Zipf hot keys", fontsize=9)
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+
+    ax2 = axes[0][1]
+    for key, label in (("fanout_sim", "sim"),
+                       ("fanout_runtime", "runtime")):
+        rows = sc.get(key, [])
+        if rows:
+            ax2.plot([r["k"] for r in rows], [r["mean_us"] for r in rows],
+                     marker="o", label=f"mean sojourn ({label})")
+    ax2.set_xlabel("fan-out k (shards of demand/k)")
+    ax2.set_ylabel("mean logical sojourn (us)")
+    ax2.set_xscale("log", base=2)
+    ax2.set_yscale("log")
+    ax2.set_title("scatter-gather fan-out", fontsize=9)
+    ax2.legend(fontsize=8)
+    ax2.grid(True, alpha=0.3)
+
+    fig.tight_layout()
+    fig.savefig(output, dpi=130)
+    print(f"wrote {output}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("input", nargs="?", help="bench output file (default stdin)")
@@ -170,7 +232,9 @@ def main():
     if args.input and args.input.endswith(".json"):
         with open(args.input) as f:
             keys = json.load(f)
-        if "event_queue_hold" in keys:
+        if "scenarios" in keys:
+            plot_scenarios_json(args.input, args.output)
+        elif "event_queue_hold" in keys:
             plot_sim_json(args.input, args.output)
         else:
             plot_dispatch_json(args.input, args.output)
