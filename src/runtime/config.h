@@ -7,6 +7,7 @@
 #define TQ_RUNTIME_CONFIG_H
 
 #include <cstddef>
+#include <cstdint>
 
 namespace tq::runtime {
 
@@ -33,6 +34,53 @@ struct RuntimeConfig
 {
     int num_workers = 2;      ///< worker scheduler threads
     double quantum_us = 2.0;  ///< target quantum (PS/LAS policies)
+
+    /**
+     * Dispatcher shards (DESIGN.md §4g). 1 — the default — is the
+     * paper's single-dispatcher runtime, byte-identical to the
+     * pre-sharding code path. N > 1 divides the workers into N
+     * contiguous disjoint subsets (common/shard.h shard_span), each
+     * owned by its own dispatcher thread with its own RX queue and
+     * packed DispatchView; submit() steers each request with the
+     * front-tier JSQ over the shards' advertised load lines. Must be
+     * in [1, num_workers].
+     */
+    int num_dispatchers = 1;
+
+    /**
+     * Bounded inter-shard work stealing (num_dispatchers > 1 only).
+     * A shard whose RX is empty and whose workers are idle steals up
+     * to this many queued requests from the most-loaded sibling's RX
+     * queue in one attempt (the RX queues are MPMC, so a cross-shard
+     * pop is exactly one atomic claim per request — a stolen job is
+     * popped once, by exactly one shard). 0 disables stealing: shards
+     * are then statically partitioned and a hot shard can strand
+     * capacity (cf. DESIGN.md §4g on why work conservation matters at
+     * microsecond scale).
+     */
+    size_t steal_max_batch = 8;
+
+    /**
+     * Steal trigger: only shards advertising at least this much load
+     * (RX backlog + worker queue sum, see runtime/shard_front.h) are
+     * eligible victims. Keeps idle-pair shards from ping-ponging
+     * speculative pops at each other.
+     */
+    uint32_t steal_min_load = 2;
+
+    /**
+     * Sharded-mode dispatch backpressure (num_dispatchers > 1 only):
+     * a shard stops forwarding RX -> worker rings once its outstanding
+     * (assigned-but-unfinished) jobs reach shard_window per owned
+     * worker, keeping the excess in its MPMC RX. Without the window a
+     * shard runs arbitrarily far ahead of its workers and buries the
+     * backlog in private SPSC rings where siblings cannot steal it —
+     * stealing only rebalances work that is still in an RX queue. 0
+     * disables the window (classic run-ahead). Ignored at
+     * num_dispatchers == 1, which forwards as fast as the rings accept,
+     * exactly as the pre-sharding dispatcher did.
+     */
+    size_t shard_window = 64;
 
     /** Task coroutines per worker. The paper observes stable performance
      *  at four or more and uses eight (section 5.1). */

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/cycles.h"
 #include "fault/fault.h"
+#include "telemetry/events.h"
 
 namespace tq::runtime {
 
@@ -12,24 +13,30 @@ Runtime::Runtime(RuntimeConfig cfg, Handler handler)
     : cfg_(cfg),
       metrics_(std::make_unique<telemetry::MetricsRegistry>(
           cfg.num_workers,
-          telemetry::kEnabled ? cfg.telemetry_trace_capacity : 1)),
-      rx_(cfg.ring_capacity),
-      rng_(cfg.seed),
+          telemetry::kEnabled ? cfg.telemetry_trace_capacity : 1,
+          cfg.num_dispatchers)),
       assigned_(std::make_unique<std::atomic<uint64_t>[]>(
           static_cast<size_t>(cfg.num_workers))),
-      readers_(static_cast<size_t>(cfg.num_workers)),
-      finished_view_(static_cast<size_t>(cfg.num_workers), 0),
-      view_(static_cast<size_t>(std::max(cfg.num_workers, 1))),
       query_readers_(static_cast<size_t>(cfg.num_workers)),
       snapshot_readers_(static_cast<size_t>(cfg.num_workers))
 {
     TQ_CHECK(cfg_.num_workers > 0);
     TQ_CHECK(cfg_.dispatch_batch >= 1);
+    TQ_CHECK(cfg_.num_dispatchers >= 1 &&
+             cfg_.num_dispatchers <= cfg_.num_workers &&
+             cfg_.num_dispatchers <= telemetry::kMaxDispatcherShards);
     for (int w = 0; w < cfg_.num_workers; ++w)
         workers_.push_back(std::make_unique<Worker>(
             w, cfg_, handler, &metrics_->worker(w), &lc_));
-    for (auto &w : workers_)
-        stat_lines_.push_back(&w->stats_line());
+    for (int d = 0; d < cfg_.num_dispatchers; ++d) {
+        shards_.push_back(std::make_unique<DispatcherShard>(cfg_, d));
+        DispatcherShard &sh = *shards_.back();
+        TQ_CHECK(sh.span.count >= 1);
+        for (int i = 0; i < sh.span.count; ++i)
+            sh.stat_lines.push_back(
+                &workers_[static_cast<size_t>(sh.span.first + i)]
+                     ->stats_line());
+    }
 }
 
 Runtime::~Runtime()
@@ -44,11 +51,16 @@ Runtime::start()
     TQ_CHECK(!started_);
     started_ = true;
     TQ_CHECK(lc_.advance(Lifecycle::Created, Lifecycle::Running));
-    live_threads_.store(1 + cfg_.num_workers, std::memory_order_relaxed);
-    threads_.emplace_back([this] {
-        dispatcher_main();
-        live_threads_.fetch_sub(1, std::memory_order_acq_rel);
-    });
+    live_threads_.store(static_cast<int>(shards_.size()) +
+                            cfg_.num_workers,
+                        std::memory_order_relaxed);
+    dispatchers_live_.store(static_cast<int>(shards_.size()),
+                            std::memory_order_relaxed);
+    for (size_t d = 0; d < shards_.size(); ++d)
+        threads_.emplace_back([this, d] {
+            dispatcher_main(static_cast<int>(d));
+            live_threads_.fetch_sub(1, std::memory_order_acq_rel);
+        });
     for (auto &w : workers_)
         threads_.emplace_back([&w, this] {
             w->run();
@@ -75,16 +87,18 @@ Runtime::drain(double deadline_sec)
         // instead of letting them vanish from the accounting (the early
         // return here used to report a clean drain while losing them).
         lc_.escalate(Lifecycle::Stopped);
-        while (rx_.pop())
-            counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
+        for (auto &sh : shards_)
+            while (sh->rx.pop())
+                sh->counters.abandoned.fetch_add(
+                    1, std::memory_order_relaxed);
         drained_clean_ =
             abandoned_jobs() == 0 && dropped_responses() == 0;
         return drained_clean_;
     }
 
-    // Running -> Draining: submit() starts rejecting, the dispatcher
-    // forwards what is queued and exits, workers finish and exit. (A
-    // no-op if a concurrent caller already moved the state forward.)
+    // Running -> Draining: submit() starts rejecting, each dispatcher
+    // shard forwards what is queued and exits, workers finish and exit.
+    // (A no-op if a concurrent caller already moved the state forward.)
     lc_.advance(Lifecycle::Running, Lifecycle::Draining);
 
     const Cycles deadline =
@@ -110,18 +124,38 @@ Runtime::drain(double deadline_sec)
     lc_.escalate(Lifecycle::Stopped);
 
     // Submissions that raced the Running -> Draining transition can land
-    // in RX after the dispatcher's final sweep; they were never
-    // forwarded, so count them abandoned.
-    while (rx_.pop())
-        counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
-    // Likewise the dispatcher can push into a worker's ring after that
-    // (force-stopped) worker's own final sweep; every thread is joined
-    // now, so a second sweep is safe and closes the accounting.
+    // in an RX queue after its shard's final sweep; they were never
+    // forwarded, so count them abandoned. Every thread is joined, so
+    // the sweep races nothing (stealing stops at Draining).
+    for (auto &sh : shards_)
+        while (sh->rx.pop())
+            sh->counters.abandoned.fetch_add(1,
+                                             std::memory_order_relaxed);
+    // Likewise a dispatcher can push into a worker's ring after that
+    // (force-stopped) worker's own final sweep; a second sweep is safe
+    // now and closes the accounting.
     for (auto &w : workers_)
         w->abandon_remaining();
 
     drained_clean_ = abandoned_jobs() == 0 && dropped_responses() == 0;
     return drained_clean_;
+}
+
+int
+Runtime::pick_shard()
+{
+    // Front-tier JSQ: snapshot the shards' advertised load lines (one
+    // relaxed load each; the lines are shard-written, submitter-read)
+    // and take the rotated minimum. The rotation counter is
+    // submitter-local, so concurrent clients spread tied picks without
+    // sharing any tie-break state (common/shard.h).
+    static thread_local uint64_t rotation = 0;
+    uint32_t loads[telemetry::kMaxDispatcherShards];
+    const size_t n = shards_.size();
+    for (size_t s = 0; s < n; ++s)
+        loads[s] =
+            shards_[s]->load_line.load.load(std::memory_order_relaxed);
+    return pick_min_rotated(loads, n, rotation++);
 }
 
 bool
@@ -130,7 +164,18 @@ Runtime::submit(const Request &req)
     // Created is accepted so clients may pre-queue before start().
     if (lc_.phase() > Lifecycle::Running)
         return false;
-    return rx_.push(req);
+    if (shards_.size() == 1)
+        return shards_[0]->rx.push(req);
+    return shards_[static_cast<size_t>(pick_shard())]->rx.push(req);
+}
+
+bool
+Runtime::submit_to_shard(const Request &req, int shard)
+{
+    TQ_CHECK(shard >= 0 && shard < static_cast<int>(shards_.size()));
+    if (lc_.phase() > Lifecycle::Running)
+        return false;
+    return shards_[static_cast<size_t>(shard)]->rx.push(req);
 }
 
 size_t
@@ -165,7 +210,9 @@ Runtime::drain_responses(std::vector<Response> &out)
 uint64_t
 Runtime::abandoned_jobs() const
 {
-    uint64_t n = counters_.abandoned.load(std::memory_order_relaxed);
+    uint64_t n = 0;
+    for (const auto &sh : shards_)
+        n += sh->counters.abandoned.load(std::memory_order_relaxed);
     for (const auto &w : workers_)
         n += w->abandoned_jobs();
     return n;
@@ -207,78 +254,107 @@ Runtime::queue_lengths()
 }
 
 int
-Runtime::pick_worker()
+Runtime::pick_worker(DispatcherShard &sh)
 {
-    const int n = cfg_.num_workers;
+    // Policies operate over the shard's owned span; returned ids are
+    // global worker indices.
+    const int first = sh.span.first;
+    const int n = sh.span.count;
     switch (cfg_.dispatch) {
       case DispatchPolicy::Random:
-        return static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
+        return first +
+               static_cast<int>(sh.rng.below(static_cast<uint64_t>(n)));
       case DispatchPolicy::PowerOfTwo: {
         if (n == 1)
-            return 0; // no second worker to sample; degrade gracefully
-        const int a = static_cast<int>(rng_.below(static_cast<uint64_t>(n)));
-        int b = static_cast<int>(rng_.below(static_cast<uint64_t>(n - 1)));
+            return first; // no second worker to sample; degrade gracefully
+        const int a =
+            static_cast<int>(sh.rng.below(static_cast<uint64_t>(n)));
+        int b =
+            static_cast<int>(sh.rng.below(static_cast<uint64_t>(n - 1)));
         if (b >= a)
             ++b;
         const auto len = [&](int i) {
-            finished_view_[static_cast<size_t>(i)] =
-                readers_[static_cast<size_t>(i)].read_finished(
-                    workers_[static_cast<size_t>(i)]->stats_line());
-            const uint64_t asn = assigned_[static_cast<size_t>(i)].load(
-                std::memory_order_relaxed);
-            const uint64_t fin = finished_view_[static_cast<size_t>(i)];
+            sh.finished_view[static_cast<size_t>(i)] =
+                sh.readers[static_cast<size_t>(i)].read_finished(
+                    *sh.stat_lines[static_cast<size_t>(i)]);
+            const uint64_t asn =
+                assigned_[static_cast<size_t>(first + i)].load(
+                    std::memory_order_relaxed);
+            const uint64_t fin = sh.finished_view[static_cast<size_t>(i)];
             // assigned_ is bumped *after* the ring push, so a fast
             // worker can transiently put finished ahead of assigned;
             // clamp so it is not mis-ranked as infinitely loaded.
             return asn > fin ? asn - fin : 0;
         };
-        return len(a) <= len(b) ? a : b;
+        return first + (len(a) <= len(b) ? a : b);
       }
       case DispatchPolicy::JsqRandom:
       case DispatchPolicy::JsqMsq:
-        refresh_dispatch_views();
-        return pick_worker_from_view();
+        refresh_dispatch_views(sh);
+        return pick_worker_from_view(sh);
     }
     TQ_CHECK(false);
-    return 0;
+    return first;
 }
 
 void
-Runtime::refresh_dispatch_views()
+Runtime::refresh_dispatch_views(DispatcherShard &sh)
 {
-    // Refresh the JSQ view from the workers' counter lines: queue
-    // length = assigned - finished (delta-tracked across wraps, clamped
-    // at 0 against the transient finished>assigned race noted above).
-    // This is the only place the dispatcher touches shared cache lines
-    // for load balancing; everything downstream works on the packed
-    // view_ until the next batch boundary. stat_lines_ keeps the walk
-    // over the workers' lines pointer-chase-free.
-    const size_t n = static_cast<size_t>(cfg_.num_workers);
+    // Refresh the shard's JSQ view from its workers' counter lines:
+    // queue length = assigned - finished (delta-tracked across wraps,
+    // clamped at 0 against the transient finished>assigned race noted
+    // above). This is the only place a dispatcher touches shared cache
+    // lines for load balancing; everything downstream works on the
+    // packed view until the next batch boundary. stat_lines keeps the
+    // walk over the workers' lines pointer-chase-free. The length sum
+    // doubles as the shard's aggregate-load input (shard_front.h).
+    const size_t n = static_cast<size_t>(sh.span.count);
+    uint64_t sum = 0;
     for (size_t i = 0; i < n; ++i) {
-        finished_view_[i] = readers_[i].read_finished(*stat_lines_[i]);
-        const uint64_t asn = assigned_[i].load(std::memory_order_relaxed);
-        view_.set_len(i,
-                      asn > finished_view_[i] ? asn - finished_view_[i] : 0);
+        sh.finished_view[i] = sh.readers[i].read_finished(*sh.stat_lines[i]);
+        const uint64_t asn =
+            assigned_[static_cast<size_t>(sh.span.first) + i].load(
+                std::memory_order_relaxed);
+        const uint64_t len =
+            asn > sh.finished_view[i] ? asn - sh.finished_view[i] : 0;
+        sh.view.set_len(i, len);
+        sum += len;
         if (cfg_.dispatch == DispatchPolicy::JsqMsq)
-            view_.set_quanta(
-                i, WorkerStatsReader::read_current_quanta(*stat_lines_[i]));
+            sh.view.set_quanta(
+                i, WorkerStatsReader::read_current_quanta(*sh.stat_lines[i]));
     }
+    sh.queue_sum = sum;
 }
 
 int
-Runtime::pick_worker_from_view()
+Runtime::pick_worker_from_view(DispatcherShard &sh)
 {
-    // JSQ over the packed local view (dispatch_view.h), with the
-    // policy's tie-break. With a batch size of 1 (a refresh before
+    // JSQ over the shard's packed local view (dispatch_view.h), with
+    // the policy's tie-break. With a batch size of 1 (a refresh before
     // every call) this is exactly the unbatched policy; inside a batch,
     // ties use the boundary snapshot of current_quanta and queue
-    // lengths grow with each assignment.
+    // lengths grow with each assignment. The view is span-local;
+    // translate to a global worker id on the way out.
     const int best = cfg_.dispatch == DispatchPolicy::JsqRandom
-                         ? view_.pick_jsq_random(rng_)
-                         : view_.pick_jsq_msq();
+                         ? sh.view.pick_jsq_random(sh.rng)
+                         : sh.view.pick_jsq_msq();
     TQ_CHECK(best >= 0);
-    view_.bump_len(static_cast<size_t>(best));
-    return best;
+    sh.view.bump_len(static_cast<size_t>(best));
+    return sh.span.first + best;
+}
+
+void
+Runtime::publish_load(DispatcherShard &sh, uint64_t just_pushed)
+{
+    // Advertised load = owned-span queue sum as of the last refresh,
+    // plus what this batch just pushed (the refresh predates those
+    // assignments), plus the RX backlog. Saturate into the uint32 the
+    // front tier compares.
+    const uint64_t load = sh.queue_sum + just_pushed + sh.rx.size();
+    sh.load_line.load.store(load > UINT32_MAX
+                                ? UINT32_MAX
+                                : static_cast<uint32_t>(load),
+                            std::memory_order_relaxed);
 }
 
 telemetry::MetricsSnapshot
@@ -310,7 +386,7 @@ Runtime::drain_trace(std::vector<telemetry::TraceEvent> &out)
 }
 
 bool
-Runtime::push_request(int target, const Request &req)
+Runtime::push_request(DispatcherShard &sh, int target, const Request &req)
 {
     TQ_FAULT_SITE(DispatcherPush);
     auto &ring = workers_[static_cast<size_t>(target)]->dispatch_ring();
@@ -320,40 +396,173 @@ Runtime::push_request(int target, const Request &req)
     size_t spins = 0;
     while (!ring.push(req)) {
         if (lc_.force_stop() || (limit != 0 && spins >= limit)) {
-            counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
+            sh.counters.abandoned.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
         ++spins;
-        counters_.full_spins.fetch_add(1, std::memory_order_relaxed);
+        sh.counters.full_spins.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::yield();
     }
     return true;
 }
 
-void
-Runtime::dispatcher_main()
+size_t
+Runtime::steal_into(DispatcherShard &sh, Request *buf, size_t buf_len)
 {
+    // Victim selection off the advertised load lines: the most-loaded
+    // sibling at or above the steal trigger. The estimate can be stale
+    // — worst case the pop below comes home empty, which costs one
+    // failed CAS round on an idle path.
+    int victim = -1;
+    uint32_t best = 0;
+    for (const auto &other : shards_) {
+        if (other->index == sh.index)
+            continue;
+        const uint32_t load =
+            other->load_line.load.load(std::memory_order_relaxed);
+        if (load >= cfg_.steal_min_load && load > best) {
+            best = load;
+            victim = other->index;
+        }
+    }
+    if (victim < 0)
+        return 0;
+    const size_t want = std::min(cfg_.steal_max_batch, buf_len);
+    const size_t got =
+        shards_[static_cast<size_t>(victim)]->rx.pop_n(buf, want);
+#if defined(TQ_TELEMETRY_ENABLED)
+    if (got > 0) {
+        telemetry::DispatcherTelemetry &dt =
+            metrics_->dispatcher(sh.index);
+        dt.steals.fetch_add(1, std::memory_order_relaxed);
+        dt.steal_batch.add(got);
+    }
+#endif
+    return got;
+}
+
+void
+Runtime::dispatch_batch(DispatcherShard &sh, Request *reqs, size_t n)
+{
+    const bool jsq_policy = cfg_.dispatch == DispatchPolicy::JsqMsq ||
+                            cfg_.dispatch == DispatchPolicy::JsqRandom;
+    const bool sharded = shards_.size() > 1;
+    // One arrival stamp covers the batch: the requests were all in
+    // RX when the batch was claimed, and per-request RDTSC is
+    // exactly the kind of per-job cost batching amortizes away.
+    const Cycles arrived_at = rdcycles();
+    // Non-JSQ policies do not read the view, but a sharded runtime
+    // still refreshes per batch: the queue-sum side effect feeds the
+    // advertised load line the front tier steers by.
+    if (jsq_policy || sharded)
+        refresh_dispatch_views(sh);
+    uint64_t pushed = 0;
+    for (size_t i = 0; i < n; ++i) {
+        Request &req = reqs[i];
+        req.arrival_cycles = arrived_at;
+        // Scatter-gather expansion: a request with fanout k becomes
+        // k shard pushes, each placed by its own policy pick (JSQ's
+        // incremental bump_len spreads the shards naturally). The
+        // degenerate k=1 loop is exactly the classic per-request
+        // path. Per-shard counters: dispatched_total/assigned_ move
+        // in worker-job units everywhere downstream.
+        const uint32_t fanout = req.fanout == 0 ? 1 : req.fanout;
+        for (uint32_t s = 0; s < fanout; ++s) {
+            req.shard = s;
+            const int target =
+                jsq_policy ? pick_worker_from_view(sh) : pick_worker(sh);
+#if defined(TQ_TELEMETRY_ENABLED)
+            // Stamp the handoff *before* the push: once the request
+            // is in the ring the worker may already be reading it.
+            const Cycles dispatched_at = rdcycles();
+            req.dispatch_cycles = dispatched_at;
+#endif
+            if (!push_request(sh, target, req))
+                continue; // dropped (counted); the outer loop
+                          // re-checks the phase per batch
+            assigned_[static_cast<size_t>(target)].fetch_add(
+                1, std::memory_order_relaxed);
+            sh.counters.dispatched_total.fetch_add(
+                1, std::memory_order_relaxed);
+            ++pushed;
+#if defined(TQ_TELEMETRY_ENABLED)
+            telemetry::DispatcherTelemetry &dt =
+                metrics_->dispatcher(sh.index);
+            dt.dispatched.fetch_add(1, std::memory_order_relaxed);
+            dt.dispatch_cycles.add(dispatched_at - req.arrival_cycles);
+            dt.trace.record(telemetry::EventKind::JobDispatched, req.id,
+                            static_cast<uint32_t>(target));
+#endif
+        }
+    }
+#if defined(TQ_TELEMETRY_ENABLED)
+    metrics_->dispatcher(sh.index).batch_occupancy.add(n);
+#endif
+    if (sharded)
+        publish_load(sh, pushed);
+}
+
+void
+Runtime::dispatcher_main(int shard_index)
+{
+    DispatcherShard &sh = *shards_[static_cast<size_t>(shard_index)];
     // RX is popped in batches: one batch dequeue (one contended RMW on
     // the MPMC cursor), one JSQ view refresh (one pass over the shared
     // counter lines), then per-request work against local state only.
     // Under light load batches degenerate to size 1 and the path is the
     // classic per-request one; under pressure the shared-line traffic
     // is divided by the batch occupancy (DESIGN.md "Batched hot path").
-    const bool jsq_policy = cfg_.dispatch == DispatchPolicy::JsqMsq ||
-                            cfg_.dispatch == DispatchPolicy::JsqRandom;
-    std::vector<Request> batch(cfg_.dispatch_batch);
+    const bool sharded = shards_.size() > 1;
+    std::vector<Request> batch(
+        std::max(cfg_.dispatch_batch, cfg_.steal_max_batch));
     int empty_polls = 0;
     for (;;) {
         TQ_FAULT_SITE(DispatcherPoll);
         const Lifecycle phase = lc_.phase();
         if (phase >= Lifecycle::Stopping)
             break;
-        const size_t n = rx_.pop_n(batch.data(), batch.size());
+        if (sharded && cfg_.shard_window > 0) {
+            // Backpressure: past the window, hold the backlog in RX
+            // (where siblings can steal it) instead of burying it in
+            // the workers' private rings. queue_sum is the view from
+            // the last refresh, so the first test is free; only a full
+            // window pays for a re-read before deciding to wait.
+            const uint64_t window =
+                cfg_.shard_window * static_cast<uint64_t>(sh.span.count);
+            if (sh.queue_sum >= window) {
+                refresh_dispatch_views(sh);
+                publish_load(sh, 0);
+                if (sh.queue_sum >= window) {
+                    std::this_thread::yield();
+                    continue;
+                }
+            }
+        }
+        const size_t n = sh.rx.pop_n(batch.data(), cfg_.dispatch_batch);
         if (n == 0) {
             if (phase == Lifecycle::Draining)
-                break; // everything queued has been forwarded
+                break; // everything queued here has been forwarded
             if (++empty_polls >= 8) {
                 empty_polls = 0;
+                if (sharded) {
+                    // Idle housekeeping, off the hot path: re-advertise
+                    // the decaying load (workers keep finishing while
+                    // RX is empty) and, with nothing of our own left,
+                    // try one bounded steal from the most-loaded
+                    // sibling. Stealing only runs in Running, so a
+                    // draining shard's final sweep races nothing.
+                    refresh_dispatch_views(sh);
+                    publish_load(sh, 0);
+                    if (phase == Lifecycle::Running &&
+                        cfg_.steal_max_batch > 0 && sh.queue_sum == 0) {
+                        const size_t stolen =
+                            steal_into(sh, batch.data(), batch.size());
+                        if (stolen > 0) {
+                            dispatch_batch(sh, batch.data(), stolen);
+                            continue;
+                        }
+                    }
+                }
                 std::this_thread::yield();
             } else {
                 cpu_relax();
@@ -361,59 +570,17 @@ Runtime::dispatcher_main()
             continue;
         }
         empty_polls = 0;
-        // One arrival stamp covers the batch: the requests were all in
-        // RX when the batch was claimed, and per-request RDTSC is
-        // exactly the kind of per-job cost batching amortizes away.
-        const Cycles arrived_at = rdcycles();
-        if (jsq_policy)
-            refresh_dispatch_views();
-        for (size_t i = 0; i < n; ++i) {
-            Request &req = batch[i];
-            req.arrival_cycles = arrived_at;
-            // Scatter-gather expansion: a request with fanout k becomes
-            // k shard pushes, each placed by its own policy pick (JSQ's
-            // incremental bump_len spreads the shards naturally). The
-            // degenerate k=1 loop is exactly the classic per-request
-            // path. Per-shard counters: dispatched_total/assigned_ move
-            // in worker-job units everywhere downstream.
-            const uint32_t fanout = req.fanout == 0 ? 1 : req.fanout;
-            for (uint32_t s = 0; s < fanout; ++s) {
-                req.shard = s;
-                const int target =
-                    jsq_policy ? pick_worker_from_view() : pick_worker();
-#if defined(TQ_TELEMETRY_ENABLED)
-                // Stamp the handoff *before* the push: once the request
-                // is in the ring the worker may already be reading it.
-                const Cycles dispatched_at = rdcycles();
-                req.dispatch_cycles = dispatched_at;
-#endif
-                if (!push_request(target, req))
-                    continue; // dropped (counted); the outer loop
-                              // re-checks the phase per batch
-                assigned_[static_cast<size_t>(target)].fetch_add(
-                    1, std::memory_order_relaxed);
-                counters_.dispatched_total.fetch_add(
-                    1, std::memory_order_relaxed);
-#if defined(TQ_TELEMETRY_ENABLED)
-                telemetry::DispatcherTelemetry &dt =
-                    metrics_->dispatcher();
-                dt.dispatched.fetch_add(1, std::memory_order_relaxed);
-                dt.dispatch_cycles.add(dispatched_at -
-                                       req.arrival_cycles);
-                dt.trace.record(telemetry::EventKind::JobDispatched,
-                                req.id, static_cast<uint32_t>(target));
-#endif
-            }
-        }
-#if defined(TQ_TELEMETRY_ENABLED)
-        metrics_->dispatcher().batch_occupancy.add(n);
-#endif
+        dispatch_batch(sh, batch.data(), n);
     }
     // Force-stopped with requests still queued: they will never be
     // forwarded — count them abandoned before announcing completion.
-    while (rx_.pop())
-        counters_.abandoned.fetch_add(1, std::memory_order_relaxed);
-    lc_.dispatcher_done.store(true, std::memory_order_release);
+    while (sh.rx.pop())
+        sh.counters.abandoned.fetch_add(1, std::memory_order_relaxed);
+    // The workers key their drain exit on dispatcher_done; with a
+    // sharded tier it means *every* shard is finished, so the last one
+    // out sets it.
+    if (dispatchers_live_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        lc_.dispatcher_done.store(true, std::memory_order_release);
 }
 
 } // namespace tq::runtime

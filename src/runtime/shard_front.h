@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The front tier's per-shard load line (DESIGN.md §4g).
+ *
+ * Every dispatcher shard advertises an approximate aggregate load —
+ * its RX backlog plus the assigned-minus-finished sum over its worker
+ * subset — on a cache line of its own. Writer: the owning shard's
+ * dispatcher thread, which refreshes the estimate once per RX batch
+ * (and once per idle poll when the value changed); readers: every
+ * submitting thread, which snapshots the N shard lines and runs the
+ * rotated JSQ pick (common/shard.h), and sibling dispatcher shards
+ * probing for a steal victim. One line per shard keeps the
+ * single-writer-per-line rule of docs/cache_line_analysis.md: a
+ * submit storm never invalidates a line the dispatcher writes, and a
+ * shard's refresh never touches a line another shard writes.
+ *
+ * The estimate is deliberately stale — at most one dispatch batch plus
+ * one refresh skipped when unchanged — which is the same freshness
+ * contract the intra-shard JSQ view already has (paper section 4:
+ * "periodically read"). Submitters racing a refresh may briefly all
+ * pick the same least-loaded shard; the rotation in pick_min_rotated()
+ * plus the next refresh bound the pile-up to one batch.
+ */
+#ifndef TQ_RUNTIME_SHARD_FRONT_H
+#define TQ_RUNTIME_SHARD_FRONT_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "conc/cacheline.h"
+
+namespace tq::runtime {
+
+/**
+ * One dispatcher shard's advertised load estimate, alone on its line.
+ * `load` saturates at UINT32_MAX on the writer side; the reader treats
+ * it as an opaque rank, so saturation only flattens ordering between
+ * two shards that are both > 4e9 jobs deep.
+ */
+struct alignas(kCacheLineSize) ShardLoadLine
+{
+    /** Approximate shard backlog: RX queue depth + per-worker
+     *  assigned-minus-finished sum, refreshed by the owning shard. */
+    std::atomic<uint32_t> load{0};
+
+    char pad[kCacheLineSize - sizeof(std::atomic<uint32_t>)];
+};
+
+static_assert(sizeof(ShardLoadLine) == kCacheLineSize &&
+                  alignof(ShardLoadLine) == kCacheLineSize,
+              "each shard's advertised load must own exactly one line");
+
+} // namespace tq::runtime
+
+#endif // TQ_RUNTIME_SHARD_FRONT_H

@@ -18,6 +18,7 @@
 #ifndef TQ_SIM_CENTRAL_H
 #define TQ_SIM_CENTRAL_H
 
+#include "common/arrival.h"
 #include "common/dist.h"
 #include "sim/metrics.h"
 #include "sim/overheads.h"
@@ -37,6 +38,14 @@ struct CentralConfig
      * completions do not need an interrupt.
      */
     bool overhead_on_preemption_only = true;
+
+    /**
+     * Arrival process (default Poisson, byte-identical to the
+     * historical stream) — same contract as TwoLevelConfig::arrival,
+     * so bursty (`--arrival=onoff`) comparisons against the two-level
+     * system drive both simulators with the same modulation.
+     */
+    ArrivalSpec arrival;
 
     SimNanos duration = ms(200);
     double warmup = 0.1;

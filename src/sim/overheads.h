@@ -37,6 +37,19 @@ struct Overheads
     SimNanos dispatch_cost = 28;
 
     /**
+     * Front-tier steering cost per *request* in a sharded-dispatcher
+     * cluster (num_dispatchers > 1, DESIGN.md §4g): the submitter's
+     * scan of the per-shard load lines plus the rotated-JSQ compare
+     * (common/shard.h pick_min_rotated). Charged as pure latency, not
+     * a serial resource — submitters are many and run in parallel, so
+     * the front tier delays each request but imposes no aggregate
+     * throughput ceiling. bench/fig17_sharded_dispatcher's front-pick
+     * micro measures ~2-4 ns at 2-4 shards; 5 ns is a conservative
+     * default. Unused at num_dispatchers = 1 (no front tier exists).
+     */
+    SimNanos front_tier_cost = 5;
+
+    /**
      * Centralized scheduler work per *scheduling operation* (enqueue or
      * quantum grant). Shinjuku-class dispatchers sustain ~5 Mrps
      * (paper section 6) => ~200 ns/op.
@@ -69,6 +82,7 @@ struct Overheads
         Overheads o;
         o.switch_overhead = 0;
         o.dispatch_cost = 0;
+        o.front_tier_cost = 0;
         o.sched_op_cost = 0;
         o.response_cost = 0;
         return o;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/shard.h"
 #include "sim/event_core.h"
 
 namespace tq::sim {
@@ -13,7 +14,7 @@ namespace {
 
 constexpr uint32_t kNone = ~0u;
 
-enum EventKind : uint32_t { kArrival, kDispatchDone, kCoreDone };
+enum EventKind : uint32_t { kArrival, kDispatchDone, kCoreDone, kFrontDone };
 
 /** Per-core scheduler state. */
 struct Core
@@ -53,10 +54,16 @@ class TwoLevelSim
     {
         TQ_CHECK(cfg.num_cores > 0);
         TQ_CHECK(cfg.num_dispatchers > 0);
+        TQ_CHECK(cfg.num_dispatchers <= cfg.num_cores);
         TQ_CHECK(cfg.fanout >= 1);
         core_.set_arrival(cfg.arrival);
         core_.set_arrival_trace(cfg.arrival_trace);
         dispatchers_.resize(static_cast<size_t>(cfg.num_dispatchers));
+        front_pending_.resize(static_cast<size_t>(cfg.num_dispatchers));
+        front_loads_.resize(static_cast<size_t>(cfg.num_dispatchers), 0);
+        for (int d = 0; d < cfg.num_dispatchers; ++d)
+            spans_.push_back(
+                shard_span(cfg.num_cores, cfg.num_dispatchers, d));
         if (!cfg_.class_quantum.empty())
             TQ_CHECK(cfg_.class_quantum.size() ==
                      dist.class_names().size());
@@ -76,6 +83,9 @@ class TwoLevelSim
                 break;
               case kCoreDone:
                 on_core_done(c);
+                break;
+              case kFrontDone:
+                on_front_done(c);
                 break;
             }
         });
@@ -129,23 +139,86 @@ class TwoLevelSim
         const uint32_t idx =
             core_.try_admit(1.0 + cfg_.probe_overhead_frac);
         if (idx != EngineCore::kNoJob) {
-            // Spray arrivals round-robin over the dispatcher cores; a
-            // fanned-out request's shards all cross the same dispatcher
-            // (one serial dispatch_cost each, like the real
-            // dispatcher's per-shard pick+push loop).
-            const int d = static_cast<int>(
-                core_.arrivals() %
-                static_cast<uint64_t>(cfg_.num_dispatchers));
             if (fanout_ > 1)
                 split_into_shards(idx);
-            for (uint32_t s = 0; s < fanout_; ++s)
-                dispatchers_[static_cast<size_t>(d)].q.push_back(
-                    idx * fanout_ + s);
-            maybe_start_dispatch(d);
+            if (cfg_.num_dispatchers == 1) {
+                // Single dispatcher: the paper's configuration, and
+                // byte-identical to the pre-sharding simulator — no
+                // front tier exists, arrivals enqueue directly. A
+                // fanned-out request's units all cross the one
+                // dispatcher (one serial dispatch_cost each, like the
+                // real dispatcher's per-shard pick+push loop).
+                for (uint32_t s = 0; s < fanout_; ++s)
+                    dispatchers_[0].q.push_back(idx * fanout_ + s);
+                maybe_start_dispatch(0);
+            } else {
+                // Sharded tier (DESIGN.md §4g): the front tier steers
+                // the whole request to one shard by rotated JSQ over
+                // the shards' load estimates, charging front_tier_cost
+                // as pure latency (submitters are parallel, so the
+                // steering pick adds delay but no serial bottleneck —
+                // each shard's dispatch_cost stays the serial
+                // resource). The constant delay preserves FIFO order
+                // per shard, so a deque models the in-flight picks.
+                const int d = pick_shard();
+                for (uint32_t s = 0; s < fanout_; ++s)
+                    front_pending_[static_cast<size_t>(d)].push_back(
+                        idx * fanout_ + s);
+                core_.schedule(core_.now() +
+                                   cfg_.overheads.front_tier_cost,
+                               kFrontDone, d);
+            }
         }
         const SimNanos t = core_.next_arrival_after(core_.now());
         if (t < cfg_.duration)
             core_.schedule(t, kArrival, -1);
+    }
+
+    /** Front-tier pick latency elapsed: the request's units land in
+     *  shard @p d's dispatch queue. */
+    void
+    on_front_done(int d)
+    {
+        auto &pending = front_pending_[static_cast<size_t>(d)];
+        for (uint32_t s = 0; s < fanout_; ++s) {
+            TQ_DCHECK(!pending.empty());
+            dispatchers_[static_cast<size_t>(d)].q.push_back(
+                pending.front());
+            pending.pop_front();
+        }
+        maybe_start_dispatch(d);
+    }
+
+    /**
+     * Front-tier JSQ (common/shard.h): steer to the shard with the
+     * smallest aggregate load — dispatch backlog (queued + in hand +
+     * still crossing the front latency) plus the owned cores'
+     * viewed queue lengths, read from the same periodically refreshed
+     * stats snapshot the dispatchers use, mirroring the staleness of
+     * the runtime's advertised load lines. Rotation by arrival count
+     * spreads tied picks like the runtime's submitter-local counter.
+     */
+    int
+    pick_shard()
+    {
+        refresh_stats_if_due();
+        const int n = cfg_.num_dispatchers;
+        for (int d = 0; d < n; ++d) {
+            const Dispatcher &disp = dispatchers_[static_cast<size_t>(d)];
+            uint64_t load =
+                disp.q.size() + (disp.busy ? 1 : 0) +
+                front_pending_[static_cast<size_t>(d)].size();
+            const ShardSpan span = spans_[static_cast<size_t>(d)];
+            for (int w = span.first; w < span.first + span.count; ++w) {
+                const long len = viewed_len(w);
+                load += len > 0 ? static_cast<uint64_t>(len) : 0;
+            }
+            front_loads_[static_cast<size_t>(d)] =
+                load > UINT32_MAX ? UINT32_MAX
+                                  : static_cast<uint32_t>(load);
+        }
+        return pick_min_rotated(front_loads_.data(),
+                                static_cast<size_t>(n), core_.arrivals());
     }
 
     void
@@ -187,7 +260,7 @@ class TwoLevelSim
         disp.in_hand = kNone;
         disp.busy = false;
 
-        const int target = pick_core();
+        const int target = pick_core(d);
         Core &core = cores_[static_cast<size_t>(target)];
         core.runq.push_back(unit);
         ++core.jobs;
@@ -228,35 +301,44 @@ class TwoLevelSim
     }
 
     int
-    pick_core()
+    pick_core(int d)
     {
+        // The pick ranges over dispatcher @p d's owned span only: with
+        // one dispatcher that is every core (the historical behaviour,
+        // RNG stream included); a sharded tier keeps worker ownership
+        // disjoint, exactly like the runtime's per-shard DispatchView.
         refresh_stats_if_due();
         Rng &rng = core_.rng();
-        const int n = cfg_.num_cores;
+        const ShardSpan span = spans_[static_cast<size_t>(d)];
+        const int first = span.first;
+        const int n = span.count;
         switch (cfg_.lb) {
           case LbPolicy::Random:
-            return static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+            return first +
+                   static_cast<int>(rng.below(static_cast<uint64_t>(n)));
           case LbPolicy::PowerOfTwo: {
+            if (n == 1)
+                return first; // no second core to sample
             const int a =
                 static_cast<int>(rng.below(static_cast<uint64_t>(n)));
             int b = static_cast<int>(
                 rng.below(static_cast<uint64_t>(n - 1)));
             if (b >= a)
                 ++b;
-            const long qa = viewed_len(a);
-            const long qb = viewed_len(b);
+            const long qa = viewed_len(first + a);
+            const long qb = viewed_len(first + b);
             if (qa != qb)
-                return qa < qb ? a : b;
-            return rng.bernoulli(0.5) ? a : b;
+                return first + (qa < qb ? a : b);
+            return first + (rng.bernoulli(0.5) ? a : b);
           }
           case LbPolicy::JsqRandom:
           case LbPolicy::JsqMsq: {
-            long best_len = viewed_len(0);
-            for (int c = 1; c < n; ++c)
+            long best_len = viewed_len(first);
+            for (int c = first + 1; c < first + n; ++c)
                 best_len = std::min(best_len, viewed_len(c));
-            // Collect ties.
+            // Collect ties (global core ids).
             ties_.clear();
-            for (int c = 0; c < n; ++c)
+            for (int c = first; c < first + n; ++c)
                 if (viewed_len(c) == best_len)
                     ties_.push_back(c);
             if (ties_.size() == 1)
@@ -393,6 +475,13 @@ class TwoLevelSim
     std::vector<uint32_t> shards_live_; ///< per job index
 
     std::vector<Dispatcher> dispatchers_;
+    /** Shard d's owned core span; one all-cores span when unsharded. */
+    std::vector<ShardSpan> spans_;
+    /** Units steered to shard d, still crossing the front-tier pick
+     *  latency (constant delay => FIFO per shard). */
+    std::vector<std::deque<uint32_t>> front_pending_;
+    /** Scratch for the front tier's per-shard load estimates. */
+    std::vector<uint32_t> front_loads_;
     std::vector<Core> cores_;
     std::vector<uint64_t> assigned_;
     std::vector<uint64_t> snap_finished_;

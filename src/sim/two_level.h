@@ -51,11 +51,18 @@ struct TwoLevelConfig
     int num_cores = 16;
 
     /**
-     * Dispatcher cores. The paper's TQ uses one (~14 Mrps); section 6
+     * Dispatcher shards. The paper's TQ uses one (~14 Mrps); section 6
      * suggests scaling out with multiple load-balancing dispatchers.
-     * Arrivals are sprayed round-robin across dispatchers; each is its
-     * own serial resource. Queue-length views stay exact (shared worker
-     * counters), so this models the throughput scaling of the proposal.
+     * With N > 1 the model matches the runtime's sharded tier
+     * (DESIGN.md §4g): the cores split into N contiguous disjoint
+     * subsets (common/shard.h shard_span) and each arrival is steered
+     * by a front-tier rotated JSQ over per-shard load estimates
+     * (front_tier_cost, charged as pure latency — submitters are
+     * parallel), then crosses its shard's serial dispatcher
+     * (dispatch_cost) whose per-core pick ranges over the owned subset
+     * only. 1 keeps the historical single-dispatcher model,
+     * byte-identical to the pre-sharding simulator. Must be in
+     * [1, num_cores].
      */
     int num_dispatchers = 1;
     SimNanos quantum = us(2);

@@ -58,6 +58,23 @@ summarize_merged(const std::vector<const CycleHistogram *> &sources)
     return s;
 }
 
+/** Bucket-wise union of several histograms as one LogHistogram. */
+LogHistogram
+merged_snapshot(const std::vector<const CycleHistogram *> &sources)
+{
+    uint64_t buckets[CycleHistogram::kBuckets] = {};
+    for (const CycleHistogram *h : sources) {
+        const LogHistogram snap = h->snapshot();
+        for (int i = 0; i < snap.num_buckets(); ++i)
+            buckets[i] += snap.bucket_count(i);
+    }
+    LogHistogram out(1, CycleHistogram::kBuckets);
+    for (int i = 0; i < CycleHistogram::kBuckets; ++i)
+        if (buckets[i] > 0)
+            out.add(uint64_t{1} << i, buckets[i]);
+    return out;
+}
+
 } // namespace
 
 LogHistogram
@@ -78,27 +95,53 @@ summarize(const CycleHistogram &hist)
     return summarize_merged({&hist});
 }
 
-MetricsRegistry::MetricsRegistry(int num_workers, size_t trace_capacity)
-    : dispatcher_(trace_capacity)
+MetricsRegistry::MetricsRegistry(int num_workers, size_t trace_capacity,
+                                 int num_dispatchers)
 {
     workers_.reserve(static_cast<size_t>(num_workers));
     for (int w = 0; w < num_workers; ++w)
         workers_.push_back(
             std::make_unique<WorkerTelemetry>(w, trace_capacity));
+    dispatchers_.reserve(static_cast<size_t>(num_dispatchers));
+    for (int d = 0; d < num_dispatchers; ++d)
+        dispatchers_.push_back(
+            std::make_unique<DispatcherTelemetry>(trace_capacity, d));
 }
 
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot s;
-    s.dispatched = dispatcher_.dispatched.load(std::memory_order_relaxed);
-    s.trace_dropped = dispatcher_.trace.dropped();
-    s.dispatch_batches = dispatcher_.batch_occupancy.count();
+    // Dispatcher shards fold together; the per-shard dispatched counts
+    // are kept alongside so skew across shards stays visible.
+    std::vector<const CycleHistogram *> dispatch_hists, batch_hists,
+        steal_hists;
+    uint64_t batch_sum = 0;
+    uint64_t steal_sum = 0;
+    s.per_shard_dispatched.reserve(dispatchers_.size());
+    for (const auto &d : dispatchers_) {
+        const uint64_t n =
+            d->dispatched.load(std::memory_order_relaxed);
+        s.per_shard_dispatched.push_back(n);
+        s.dispatched += n;
+        s.trace_dropped += d->trace.dropped();
+        s.dispatch_batches += d->batch_occupancy.count();
+        batch_sum += d->batch_occupancy.sum();
+        s.steal_count += d->steals.load(std::memory_order_relaxed);
+        steal_sum += d->steal_batch.sum();
+        dispatch_hists.push_back(&d->dispatch_cycles);
+        batch_hists.push_back(&d->batch_occupancy);
+        steal_hists.push_back(&d->steal_batch);
+    }
     if (s.dispatch_batches > 0)
-        s.mean_dispatch_batch =
-            static_cast<double>(dispatcher_.batch_occupancy.sum()) /
-            static_cast<double>(s.dispatch_batches);
-    s.dispatch_batch_hist = dispatcher_.batch_occupancy.snapshot();
+        s.mean_dispatch_batch = static_cast<double>(batch_sum) /
+                                static_cast<double>(s.dispatch_batches);
+    s.stolen_jobs = steal_sum;
+    if (s.steal_count > 0)
+        s.mean_steal_batch = static_cast<double>(steal_sum) /
+                             static_cast<double>(s.steal_count);
+    s.dispatch_batch_hist = merged_snapshot(batch_hists);
+    s.steal_batch_hist = merged_snapshot(steal_hists);
     std::vector<const CycleHistogram *> queue, service, preempt;
     for (const auto &w : workers_) {
         const WorkerCounters &c = w->counters;
@@ -113,7 +156,7 @@ MetricsRegistry::snapshot() const
         service.push_back(&w->service_cycles);
         preempt.push_back(&w->preempt_cycles);
     }
-    s.dispatch = summarize(dispatcher_.dispatch_cycles);
+    s.dispatch = summarize_merged(dispatch_hists);
     s.sojourn = summarize(client_.sojourn_cycles);
     s.fanout_spread = summarize(client_.fanout_spread_cycles);
     s.queueing = summarize_merged(queue);
@@ -132,7 +175,8 @@ size_t
 MetricsRegistry::drain_trace(std::vector<TraceEvent> &out)
 {
     const size_t before = out.size();
-    dispatcher_.trace.drain(out);
+    for (auto &d : dispatchers_)
+        d->trace.drain(out);
     for (auto &w : workers_)
         w->trace.drain(out);
     std::sort(out.begin() + static_cast<ptrdiff_t>(before), out.end(),
@@ -170,6 +214,21 @@ MetricsSnapshot::to_string() const
                   static_cast<unsigned long long>(dispatch_batches),
                   mean_dispatch_batch);
     out += buf;
+    if (per_shard_dispatched.size() > 1) {
+        out += "per-shard dispatched:";
+        for (uint64_t n : per_shard_dispatched) {
+            std::snprintf(buf, sizeof(buf), " %llu",
+                          static_cast<unsigned long long>(n));
+            out += buf;
+        }
+        out += "\n";
+        std::snprintf(buf, sizeof(buf),
+                      "steals: %llu (%llu jobs, mean batch %.2f)\n",
+                      static_cast<unsigned long long>(steal_count),
+                      static_cast<unsigned long long>(stolen_jobs),
+                      mean_steal_batch);
+        out += buf;
+    }
     if (burst_phases > 0) {
         std::snprintf(buf, sizeof(buf),
                       "burst phases: %llu (mean in-flight %.2f)\n",

@@ -138,18 +138,26 @@ class WorkerTelemetry
     TraceRing trace;              ///< typed event ring (producer: worker)
 };
 
-/** Dispatcher-thread telemetry: per-job dispatch cost and its ring. */
+/** One dispatcher shard's telemetry: per-job dispatch cost, steal
+ *  accounting, and its trace ring. An unsharded runtime has exactly
+ *  one instance (shard 0, the historical dispatcher). */
 class DispatcherTelemetry
 {
   public:
-    /** @param trace_capacity ring size in events. */
-    explicit DispatcherTelemetry(size_t trace_capacity)
-        : trace(kDispatcherTid, trace_capacity)
+    /** @param trace_capacity ring size in events.
+     *  @param shard dispatcher shard index (trace tid
+     *      dispatcher_tid(shard); 0 for the unsharded runtime). */
+    explicit DispatcherTelemetry(size_t trace_capacity, int shard = 0)
+        : trace(dispatcher_tid(shard), trace_capacity)
     {
     }
 
     /** Jobs forwarded to workers (writer: the dispatcher thread). */
     std::atomic<uint64_t> dispatched{0};
+
+    /** Successful steal attempts: batches this shard pulled from a
+     *  sibling's RX queue (writer: this shard's dispatcher). */
+    std::atomic<uint64_t> steals{0};
 
     CycleHistogram dispatch_cycles; ///< RX arrival -> handed to a worker
 
@@ -159,6 +167,11 @@ class DispatcherTelemetry
      *  the dispatcher is keeping up and batching is a no-op; rising
      *  occupancy is RX queue depth, i.e. dispatcher pressure. */
     CycleHistogram batch_occupancy;
+
+    /** Jobs per successful steal (another generic log2 value
+     *  histogram: count = steals, sum = jobs stolen, so sum/count is
+     *  the mean rebalanced batch). Empty when stealing never fired. */
+    CycleHistogram steal_batch;
 
     TraceRing trace;                ///< JobDispatched events
 };
@@ -213,6 +226,17 @@ struct MetricsSnapshot
      *  not cycles; see DispatcherTelemetry::batch_occupancy). */
     LogHistogram dispatch_batch_hist{1, CycleHistogram::kBuckets};
 
+    /** Jobs forwarded by each dispatcher shard, in shard order (one
+     *  entry for the unsharded runtime; `dispatched` is its sum). */
+    std::vector<uint64_t> per_shard_dispatched;
+
+    uint64_t steal_count = 0;  ///< successful cross-shard steal batches
+    uint64_t stolen_jobs = 0;  ///< jobs rebalanced by those steals
+    double mean_steal_batch = 0; ///< stolen_jobs / steal_count
+    /** Steal-batch-size distribution (log2 buckets over job counts,
+     *  not cycles; see DispatcherTelemetry::steal_batch). */
+    LogHistogram steal_batch_hist{1, CycleHistogram::kBuckets};
+
     /** Cumulative serviced quanta from the workers' WorkerStatsLine
      *  counters, read wrap-tolerantly (filled by
      *  Runtime::telemetry_snapshot(); 0 when taken registry-only). */
@@ -260,9 +284,12 @@ class MetricsRegistry
     /**
      * @param num_workers worker telemetry slots to create.
      * @param trace_capacity per-ring event capacity (workers and
-     *     dispatcher each get their own ring of this size).
+     *     dispatcher shards each get their own ring of this size).
+     * @param num_dispatchers dispatcher-shard slots (1 for the
+     *     unsharded runtime).
      */
-    MetricsRegistry(int num_workers, size_t trace_capacity);
+    MetricsRegistry(int num_workers, size_t trace_capacity,
+                    int num_dispatchers = 1);
 
     /** Telemetry slot of worker @p i. */
     WorkerTelemetry &worker(int i) { return *workers_[static_cast<size_t>(i)]; }
@@ -273,14 +300,28 @@ class MetricsRegistry
         return *workers_[static_cast<size_t>(i)];
     }
 
-    /** Dispatcher-thread slot. */
-    DispatcherTelemetry &dispatcher() { return dispatcher_; }
+    /** Dispatcher slot of shard 0 (the only one when unsharded). */
+    DispatcherTelemetry &dispatcher() { return *dispatchers_[0]; }
+
+    /** Dispatcher slot of shard @p shard. */
+    DispatcherTelemetry &
+    dispatcher(int shard)
+    {
+        return *dispatchers_[static_cast<size_t>(shard)];
+    }
 
     /** Client/load-generator slot. */
     ClientTelemetry &client() { return client_; }
 
     /** Number of worker slots. */
     int num_workers() const { return static_cast<int>(workers_.size()); }
+
+    /** Number of dispatcher-shard slots. */
+    int
+    num_dispatchers() const
+    {
+        return static_cast<int>(dispatchers_.size());
+    }
 
     /**
      * Snapshot every counter and histogram without stopping writers.
@@ -299,7 +340,7 @@ class MetricsRegistry
 
   private:
     std::vector<std::unique_ptr<WorkerTelemetry>> workers_;
-    DispatcherTelemetry dispatcher_;
+    std::vector<std::unique_ptr<DispatcherTelemetry>> dispatchers_;
     ClientTelemetry client_;
 };
 

@@ -16,6 +16,7 @@
 #include "common/histogram.h"
 #include "common/percentile.h"
 #include "common/rng.h"
+#include "common/shard.h"
 #include "common/units.h"
 #include "common/zipf.h"
 
@@ -465,6 +466,76 @@ TEST(Zipf, DegenerateCases)
     Zipf uniform(64, 0.0);
     for (uint64_t r = 0; r < 64; ++r)
         EXPECT_NEAR(uniform.pmf(r), 1.0 / 64, 1e-12);
+}
+
+TEST(ShardSpan, PartitionIsContiguousDisjointAndEven)
+{
+    // Every (workers, shards) pair up to the runtime's limits: the
+    // spans must tile [0, W) exactly, differ by at most one worker, and
+    // shard_of_worker must invert the mapping.
+    for (int workers = 1; workers <= 64; ++workers) {
+        for (int shards = 1; shards <= std::min(workers, 16); ++shards) {
+            int next = 0;
+            int min_count = workers, max_count = 0;
+            for (int s = 0; s < shards; ++s) {
+                const ShardSpan span = shard_span(workers, shards, s);
+                ASSERT_EQ(span.first, next)
+                    << workers << "w/" << shards << "s shard " << s;
+                ASSERT_GE(span.count, 1);
+                min_count = std::min(min_count, span.count);
+                max_count = std::max(max_count, span.count);
+                for (int w = span.first; w < span.first + span.count; ++w)
+                    ASSERT_EQ(shard_of_worker(workers, shards, w), s)
+                        << workers << "w/" << shards << "s worker " << w;
+                next = span.first + span.count;
+            }
+            ASSERT_EQ(next, workers);
+            ASSERT_LE(max_count - min_count, 1);
+        }
+    }
+}
+
+TEST(PickMinRotated, MatchesScalarOracleUnderRandomLoads)
+{
+    // Property test for the front-tier JSQ pick: against a brute-force
+    // oracle, the winner must be the *earliest shard in rotated order*
+    // holding the global minimum load (strictly-smaller-wins contract,
+    // common/shard.h). Small load ranges force heavy tying so the
+    // tie-break path dominates the trials.
+    Rng rng(2024);
+    for (int trial = 0; trial < 20000; ++trial) {
+        const size_t n = 1 + rng.below(16);
+        uint32_t loads[16];
+        for (size_t i = 0; i < n; ++i)
+            loads[i] = static_cast<uint32_t>(rng.below(trial % 2 ? 4 : 1000));
+        const uint64_t start = rng() % 1000;
+        const int got = pick_min_rotated(loads, n, start);
+
+        uint32_t min_load = loads[0];
+        for (size_t i = 1; i < n; ++i)
+            min_load = std::min(min_load, loads[i]);
+        int oracle = -1;
+        for (size_t step = 0; step < n; ++step) {
+            const size_t i = (static_cast<size_t>(start % n) + step) % n;
+            if (loads[i] == min_load) {
+                oracle = static_cast<int>(i);
+                break;
+            }
+        }
+        ASSERT_EQ(got, oracle) << "trial " << trial << " n=" << n
+                               << " start=" << start;
+        ASSERT_EQ(loads[static_cast<size_t>(got)], min_load);
+    }
+}
+
+TEST(PickMinRotated, RotationRoundRobinsTiedShards)
+{
+    // At idle every load estimate reads zero; successive rotated starts
+    // must spread picks round-robin instead of piling onto shard 0.
+    const uint32_t idle[4] = {0, 0, 0, 0};
+    for (uint64_t k = 0; k < 64; ++k)
+        EXPECT_EQ(pick_min_rotated(idle, 4, k),
+                  static_cast<int>(k % 4));
 }
 
 TEST(Cycles, MonotonicAndCalibrated)

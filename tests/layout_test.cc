@@ -117,7 +117,13 @@ struct LayoutAudit
     static const runtime::DispatcherCounters &
     runtime_counters(const runtime::Runtime &rt)
     {
-        return rt.counters_;
+        return rt.shards_[0]->counters;
+    }
+
+    static const runtime::DispatcherShard &
+    runtime_shard(const runtime::Runtime &rt, int shard)
+    {
+        return *rt.shards_[static_cast<size_t>(shard)];
     }
 
     static const runtime::LifecycleControl &
@@ -145,6 +151,8 @@ static_assert(sizeof(runtime::LifecycleControl) == kCacheLineSize &&
               alignof(runtime::LifecycleControl) == kCacheLineSize);
 static_assert(sizeof(runtime::DispatcherCounters) == kCacheLineSize &&
               alignof(runtime::DispatcherCounters) == kCacheLineSize);
+static_assert(sizeof(runtime::ShardLoadLine) == kCacheLineSize &&
+              alignof(runtime::ShardLoadLine) == kCacheLineSize);
 static_assert(sizeof(telemetry::WorkerCounters) == kCacheLineSize &&
               alignof(telemetry::WorkerCounters) == kCacheLineSize);
 static_assert(sizeof(SpscRing<uint64_t>::ProducerSide) == kCacheLineSize &&
@@ -203,18 +211,53 @@ TEST(Layout, DispatcherCountersNeverShareTheLifecycleLine)
 {
     // The regression this PR fixed: the dispatcher's per-job counter
     // increments must not invalidate the lifecycle line every worker
-    // polls. Checked on a real Runtime object.
+    // polls. Checked on a real Runtime object. The counters now live
+    // inside the (heap-allocated) dispatcher shard, so the two can
+    // never even share an allocation; keep the line math on absolute
+    // addresses.
     runtime::RuntimeConfig cfg;
     cfg.num_workers = 2;
     runtime::Runtime rt(cfg, [](const runtime::Request &) { return 0ULL; });
     const auto &counters = LayoutAudit::runtime_counters(rt);
     const auto &lc = LayoutAudit::runtime_lifecycle(rt);
-    EXPECT_NE(LayoutAudit::line_of(rt, &counters.dispatched_total),
-              LayoutAudit::line_of(rt, &lc.state));
-    EXPECT_NE(LayoutAudit::line_of(rt, &counters.abandoned),
-              LayoutAudit::line_of(rt, &lc.dispatcher_done));
+    const auto abs_line = [](const void *p) {
+        return reinterpret_cast<uintptr_t>(p) / kCacheLineSize;
+    };
+    EXPECT_NE(abs_line(&counters.dispatched_total), abs_line(&lc.state));
+    EXPECT_NE(abs_line(&counters.abandoned),
+              abs_line(&lc.dispatcher_done));
     EXPECT_EQ(reinterpret_cast<uintptr_t>(&lc) % kCacheLineSize, 0u);
     EXPECT_EQ(reinterpret_cast<uintptr_t>(&counters) % kCacheLineSize, 0u);
+}
+
+TEST(Layout, ShardLoadAndCounterLinesStayDisjointAcrossShards)
+{
+    // Sharding contract (DESIGN.md §4g): each shard's advertised load
+    // line and hot counters own their cache lines, within the shard and
+    // across shards — a submit storm reading load lines must never ride
+    // on a line any dispatcher writes for another purpose.
+    runtime::RuntimeConfig cfg;
+    cfg.num_workers = 4;
+    cfg.num_dispatchers = 2;
+    runtime::Runtime rt(cfg, [](const runtime::Request &) { return 0ULL; });
+    const auto abs_line = [](const void *p) {
+        return reinterpret_cast<uintptr_t>(p) / kCacheLineSize;
+    };
+    std::vector<uintptr_t> lines;
+    for (int s = 0; s < 2; ++s) {
+        const auto &sh = LayoutAudit::runtime_shard(rt, s);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(&sh.load_line) %
+                      kCacheLineSize,
+                  0u);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(&sh.counters) %
+                      kCacheLineSize,
+                  0u);
+        lines.push_back(abs_line(&sh.load_line));
+        lines.push_back(abs_line(&sh.counters));
+    }
+    for (size_t a = 0; a < lines.size(); ++a)
+        for (size_t b = a + 1; b < lines.size(); ++b)
+            EXPECT_NE(lines[a], lines[b]) << a << " vs " << b;
 }
 
 TEST(Layout, WorkerCountersAreHeapSeparatedPerWorker)

@@ -353,6 +353,125 @@ TEST(TwoLevel, MultipleDispatchersScaleAdmissionThroughput)
     EXPECT_FALSE(two.saturated) << "two dispatchers must carry 1.5x cap";
 }
 
+TEST(TwoLevel, SingleDispatcherResultsArePinnedBitForBit)
+{
+    // The sharded-tier remodel must leave num_dispatchers = 1 byte-
+    // identical: these hexfloat goldens were captured on the
+    // pre-sharding simulator across three unrelated configurations
+    // (JSQ-MSQ/PS, saturated fixed-demand, and fanout/LAS/JsqRandom).
+    // Any drift here means the D = 1 bypass leaks new behaviour into
+    // the figures.
+    {
+        ExponentialDist dist(us(1));
+        TwoLevelConfig cfg;
+        cfg.num_cores = 16;
+        cfg.duration = ms(20);
+        cfg.seed = 7;
+        const SimResult r = run_two_level(cfg, dist, mrps(8));
+        EXPECT_EQ(r.completed, 160320u);
+        EXPECT_EQ(r.dropped, 0u);
+        EXPECT_FALSE(r.saturated);
+        EXPECT_EQ(r.overall_mean_slowdown, 0x1.fbe2c792f4cc8p+0);
+        EXPECT_EQ(r.overall_p999_slowdown, 0x1.9eea61f289c07p+6);
+        EXPECT_EQ(r.avg_effective_quantum, 0x1.b04c88f860aebp+9);
+    }
+    {
+        FixedDist dist(us(0.5));
+        TwoLevelConfig cfg;
+        cfg.num_cores = 64;
+        cfg.duration = ms(5);
+        cfg.seed = 3;
+        cfg.stop_when_saturated = true;
+        const SimResult r = run_two_level(cfg, dist, mrps(50));
+        EXPECT_EQ(r.completed, 178551u);
+        EXPECT_TRUE(r.saturated);
+        EXPECT_EQ(r.overall_mean_slowdown, 0x1.8b0162bd2229cp+10);
+    }
+    {
+        ExponentialDist dist(us(2));
+        TwoLevelConfig cfg;
+        cfg.num_cores = 8;
+        cfg.fanout = 4;
+        cfg.core_policy = CorePolicy::Las;
+        cfg.lb = LbPolicy::JsqRandom;
+        cfg.duration = ms(10);
+        cfg.seed = 11;
+        const SimResult r = run_two_level(cfg, dist, mrps(0.5));
+        EXPECT_EQ(r.completed, 4976u);
+        EXPECT_FALSE(r.saturated);
+        EXPECT_EQ(r.overall_mean_slowdown, 0x1.ff1ac3f194a02p-1);
+        EXPECT_EQ(r.overall_p999_slowdown, 0x1.5772924db89f3p+5);
+    }
+}
+
+TEST(TwoLevel, ShardedRunsAreDeterministic)
+{
+    // The sharded model (front tier + per-shard spans) must stay as
+    // reproducible as the classic path: same seed, same results, bit
+    // for bit.
+    auto dist = workload_table::exp1();
+    TwoLevelConfig cfg;
+    cfg.num_cores = 16;
+    cfg.num_dispatchers = 4;
+    cfg.duration = ms(10);
+    cfg.seed = 42;
+    const SimResult a = run_two_level(cfg, *dist, mrps(6));
+    const SimResult b = run_two_level(cfg, *dist, mrps(6));
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.overall_mean_slowdown, b.overall_mean_slowdown);
+    EXPECT_EQ(a.overall_p999_slowdown, b.overall_p999_slowdown);
+}
+
+TEST(TwoLevel, FrontTierCostIsLatencyNotACapacityCeiling)
+{
+    // The front-tier pick happens on (parallel) submitter threads, so
+    // even an absurd 500ns steering cost must not reduce completions —
+    // it only shifts latency. The serial resources are the per-shard
+    // dispatchers.
+    FixedDist dist(us(1));
+    TwoLevelConfig cheap;
+    cheap.num_cores = 16;
+    cheap.num_dispatchers = 2;
+    cheap.duration = ms(10);
+    TwoLevelConfig dear = cheap;
+    dear.overheads.front_tier_cost = 500;
+    const double rate = mrps(8);
+    const SimResult r_cheap = run_two_level(cheap, dist, rate);
+    const SimResult r_dear = run_two_level(dear, dist, rate);
+    ASSERT_FALSE(r_cheap.saturated);
+    ASSERT_FALSE(r_dear.saturated);
+    EXPECT_EQ(r_cheap.completed, r_dear.completed)
+        << "front-tier cost throttled throughput";
+    EXPECT_GT(r_dear.overall_mean_slowdown,
+              r_cheap.overall_mean_slowdown)
+        << "500ns of steering latency must show up in sojourns";
+}
+
+TEST(TwoLevel, ShardedTailMatchesSingleDispatcherAtLowLoad)
+{
+    // Tail-latency parity check (the fig17 bench's low-load column):
+    // far from the dispatch ceiling, splitting 16 cores into 2 shards
+    // must not meaningfully hurt the tail — JSQ over 8 owned cores at
+    // low occupancy picks an idle core almost as reliably as JSQ over
+    // 16, and the front tier only adds its ~5ns pick.
+    auto dist = workload_table::exp1();
+    TwoLevelConfig one;
+    one.num_cores = 16;
+    one.duration = ms(40);
+    TwoLevelConfig two = one;
+    two.num_dispatchers = 2;
+    const double rate = mrps(2); // ~12% core load, ~6% dispatch load
+    const SimResult r1 = run_two_level(one, *dist, rate);
+    const SimResult r2 = run_two_level(two, *dist, rate);
+    ASSERT_FALSE(r1.saturated);
+    ASSERT_FALSE(r2.saturated);
+    EXPECT_EQ(r1.completed, r2.completed) << "same seed, same arrivals";
+    EXPECT_LT(r2.overall_p999_slowdown,
+              1.25 * r1.overall_p999_slowdown);
+    EXPECT_LT(r2.overall_mean_slowdown,
+              1.10 * r1.overall_mean_slowdown);
+}
+
 // ------------------------------------------------------------ central --
 
 TEST(Central, StableLoadCompletesEverything)

@@ -32,6 +32,17 @@ import json
 import sys
 
 
+def cell_value(cell):
+    """Numeric value of a table cell, or None. Accepts the benches'
+    '2.04x' speedup/scaling suffix; 'sat' and blanks are None."""
+    if cell in ("sat", ""):
+        return None
+    try:
+        return float(cell.rstrip("x"))
+    except ValueError:
+        return None
+
+
 def parse_tables(lines):
     """Split bench output into (title, header, rows) tables."""
     tables = []
@@ -71,40 +82,81 @@ def parse_tables(lines):
 
 
 def plot_dispatch_json(path, output):
-    """Render BENCH_dispatch.json: before/after Mrps bars + speedup."""
+    """Render BENCH_dispatch.json: hot-path Mrps bars, speedup, and the
+    sharded-dispatcher scaling panel when the run recorded one."""
     with open(path) as f:
         data = json.load(f)
     rows = data["dispatcher_throughput"]
     workers = [r["workers"] for r in rows]
+    before_mrps = [1e3 / r["before_ns_per_job"] for r in rows]
+    after_mrps = [r.get("after_mrps", 1e3 / r["after_ns_per_job"])
+                  for r in rows]
+    scalar_ns = [r.get("legacy_scalar_ns") for r in rows]
+    sharded = data.get("sharded_scaling")
 
     import matplotlib
 
     matplotlib.use("Agg")
     import matplotlib.pyplot as plt
 
-    fig, (ax, ax2) = plt.subplots(1, 2, figsize=(11, 4.5))
+    ncols = 3 if sharded else 2
+    fig, axes = plt.subplots(1, ncols, figsize=(5.5 * ncols, 4.5),
+                             squeeze=False)
+    ax, ax2 = axes[0][0], axes[0][1]
     xs = range(len(workers))
     width = 0.38
-    ax.bar([x - width / 2 for x in xs], [r["before_mrps"] for r in rows],
-           width, label="scalar (before)")
-    ax.bar([x + width / 2 for x in xs], [r["after_mrps"] for r in rows],
-           width, label="batched (after)")
+    ax.bar([x - width / 2 for x in xs], before_mrps, width,
+           label="batched views (before)")
+    ax.bar([x + width / 2 for x in xs], after_mrps, width,
+           label="packed view (after)")
     ax.set_xticks(list(xs))
     ax.set_xticklabels([str(w) for w in workers])
     ax.set_xlabel("workers")
     ax.set_ylabel("dispatcher Mrps")
-    ax.set_title("dispatcher throughput, scalar vs batched", fontsize=9)
+    ax.set_title("dispatcher throughput, one shard", fontsize=9)
     ax.legend(fontsize=8)
     ax.grid(True, axis="y", alpha=0.3)
 
-    ax2.plot(workers, [r["speedup"] for r in rows], marker="o")
+    if all(scalar_ns):
+        ax2.plot(workers,
+                 [s / r["after_ns_per_job"]
+                  for s, r in zip(scalar_ns, rows)],
+                 marker="o", label="packed vs legacy scalar")
     ax2.axhline(1.5, linestyle="--", alpha=0.5, label="1.5x target")
     ax2.set_xlabel("workers")
     ax2.set_ylabel("speedup (x)")
     ax2.set_ylim(bottom=0)
-    ax2.set_title("batched / scalar speedup", fontsize=9)
+    ax2.set_title("hot-path speedup vs legacy", fontsize=9)
     ax2.legend(fontsize=8)
     ax2.grid(True, alpha=0.3)
+
+    if sharded:
+        ax3 = axes[0][2]
+        rt = sharded["runtime_isolated"]
+        sim = sharded["sim_capacity_64c_0p5us_slo10"]
+        shard_counts = [r["shards"] for r in rt]
+        xs3 = range(len(shard_counts))
+        ax3.bar([x - width / 2 for x in xs3],
+                [r["scaling_x"] for r in rt], width,
+                label="runtime (isolated per-shard)")
+        ax3.bar([x + width / 2 for x in xs3],
+                [r["scaling_x"] for r in sim], width,
+                label="sim cluster capacity")
+        for x, r in zip(xs3, sim):
+            ax3.annotate(f'{r["max_mrps"]:.0f} Mrps',
+                         (x + width / 2, r["scaling_x"]), ha="center",
+                         va="bottom", fontsize=7)
+        ax3.plot([x - 0.5 for x in xs3] + [len(shard_counts) - 0.5],
+                 [s for s in shard_counts] + [shard_counts[-1]],
+                 drawstyle="steps-post", linestyle=":", alpha=0.6,
+                 label="linear")
+        ax3.set_xticks(list(xs3))
+        ax3.set_xticklabels([str(s) for s in shard_counts])
+        ax3.set_xlabel("dispatcher shards")
+        ax3.set_ylabel("aggregate scaling vs 1 shard (x)")
+        ax3.set_title("sharded tier scaling (fig17)", fontsize=9)
+        ax3.legend(fontsize=8)
+        ax3.grid(True, axis="y", alpha=0.3)
 
     fig.tight_layout()
     fig.savefig(output, dpi=130)
@@ -257,15 +309,16 @@ def main():
         for col in range(1, len(header)):
             ys, pts_x = [], []
             for x, r in zip(xs, rows):
-                if col < len(r) and r[col] not in ("sat", ""):
+                v = cell_value(r[col]) if col < len(r) else None
+                if v is not None:
                     pts_x.append(x)
-                    ys.append(float(r[col]))
+                    ys.append(v)
             if ys:
                 ax.plot(pts_x, ys, marker="o", label=header[col])
         ax.set_xlabel(header[0])
         ax.set_title(title, fontsize=9)
-        if any(v > 50 for _, h, rr in tables for r in rr
-               for v in [float(c) for c in r[1:] if c not in ("sat", "")]):
+        if any(v is not None and v > 50 for _, h, rr in tables
+               for r in rr for v in map(cell_value, r[1:])):
             ax.set_yscale("log")
         ax.legend(fontsize=7)
         ax.grid(True, alpha=0.3)
