@@ -4,6 +4,28 @@
 
 namespace tq::compiler {
 
+namespace {
+
+/** Execute an instrumented module and collect the Table-3 metrics. */
+TechniqueMetrics
+finish_metrics(const Module &inst, const ExecConfig &exec_cfg)
+{
+    const ExecResult res = execute(inst, exec_cfg);
+
+    TechniqueMetrics tm;
+    tm.overhead = res.overhead();
+    tm.mae_ns = res.yield_mae_cycles / exec_cfg.cost.cycles_per_ns;
+    tm.yields = res.yields;
+    for (const auto &fn : inst.functions)
+        tm.static_probes += fn.probe_count();
+    const VerifyResult vr = verify_module(inst);
+    tm.verified = vr.ok;
+    tm.static_bound = vr.max_stretch;
+    return tm;
+}
+
+} // namespace
+
 TechniqueMetrics
 measure_technique(const Module &m, ProbeKind technique,
                   const PassConfig &pass_cfg, const ExecConfig &exec_cfg)
@@ -23,17 +45,24 @@ measure_technique(const Module &m, ProbeKind technique,
         tq::fatal("measure_technique: not a technique kind");
     }
 
-    const ExecResult res = execute(inst, exec_cfg);
+    return finish_metrics(inst, exec_cfg);
+}
 
-    TechniqueMetrics tm;
-    tm.overhead = res.overhead();
-    tm.mae_ns = res.yield_mae_cycles / exec_cfg.cost.cycles_per_ns;
-    tm.yields = res.yields;
-    for (const auto &fn : inst.functions)
-        tm.static_probes += fn.probe_count();
-    const VerifyResult vr = verify_module(inst);
-    tm.verified = vr.ok;
-    tm.static_bound = vr.max_stretch;
+TechniqueMetrics
+measure_tq_optimized(const Module &m, const PassConfig &pass_cfg,
+                     const ExecConfig &exec_cfg, OptimizerResult *opt_out)
+{
+    Module inst = m;
+    run_tq_pass(inst, pass_cfg);
+    const OptimizerResult opt = optimize_placement(inst, OptimizerConfig{});
+    if (opt_out)
+        *opt_out = opt;
+
+    TechniqueMetrics tm = finish_metrics(inst, exec_cfg);
+    // The placement only counts as verified if the optimizer's own
+    // accept loop agreed end to end (a failed optimize leaves the
+    // module untouched, and finish_metrics re-proves it regardless).
+    tm.verified = tm.verified && opt.ok;
     return tm;
 }
 
@@ -47,6 +76,8 @@ compare_techniques(const Module &m, const PassConfig &pass_cfg,
     row.ci_cycles =
         measure_technique(m, ProbeKind::CiCycles, pass_cfg, exec_cfg);
     row.tq = measure_technique(m, ProbeKind::TqClock, pass_cfg, exec_cfg);
+    row.tq_opt =
+        measure_tq_optimized(m, pass_cfg, exec_cfg, &row.tq_opt_info);
     return row;
 }
 

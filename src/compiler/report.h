@@ -13,6 +13,7 @@
 #include <string>
 
 #include "compiler/exec.h"
+#include "compiler/optimizer.h"
 #include "compiler/passes.h"
 
 namespace tq::compiler {
@@ -35,6 +36,8 @@ struct ComparisonRow
     TechniqueMetrics ci;
     TechniqueMetrics ci_cycles;
     TechniqueMetrics tq;
+    TechniqueMetrics tq_opt; ///< TQ + verify-guided placement refinement
+    OptimizerResult tq_opt_info;
 };
 
 /**
@@ -49,6 +52,17 @@ ComparisonRow compare_techniques(const Module &m, const PassConfig &pass_cfg,
 TechniqueMetrics measure_technique(const Module &m, ProbeKind technique,
                                    const PassConfig &pass_cfg,
                                    const ExecConfig &exec_cfg);
+
+/**
+ * TQ placement followed by the verify-guided optimizer
+ * (optimize_placement with target 0: keep the placement's own proven
+ * bound). @p opt_out, when non-null, receives the optimizer's move
+ * accounting.
+ */
+TechniqueMetrics measure_tq_optimized(const Module &m,
+                                      const PassConfig &pass_cfg,
+                                      const ExecConfig &exec_cfg,
+                                      OptimizerResult *opt_out = nullptr);
 
 } // namespace tq::compiler
 

@@ -894,34 +894,94 @@ fmt_len(uint64_t v)
 
 } // namespace
 
-VerifyResult
-verify_module(const Module &m, const VerifyConfig &cfg)
+namespace {
+
+/**
+ * Name the block of a witness that dominates the bound: the Block step
+ * feeding the largest Repeat marker (the window spends most of its
+ * length looping there), or the first Block step of a repeat-free
+ * path. Returns {block, extra-iterations}; block -1 when the witness
+ * carries no block step.
+ */
+std::pair<int, uint64_t>
+witness_hotspot(const Witness &w)
 {
-    VerifyResult r;
-    r.functions.assign(m.functions.size(), FunctionStretch{});
-
-    if (!structural_check(m, r.diags)) {
-        for (auto &f : r.functions)
-            f = top_summary();
-        r.max_stretch = m.functions.empty() ? 0 : kUnboundedStretch;
-        r.ok = false;
-        return r;
+    int best_block = -1;
+    uint64_t best_count = 0;
+    for (size_t i = 0; i < w.steps.size(); ++i) {
+        const auto &s = w.steps[i];
+        if (s.kind != Witness::Kind::Repeat || s.count <= best_count)
+            continue;
+        for (size_t j = i; j-- > 0;)
+            if (w.steps[j].kind == Witness::Kind::Block) {
+                best_block = w.steps[j].block;
+                best_count = s.count;
+                break;
+            }
     }
+    if (best_block >= 0)
+        return {best_block, best_count};
+    for (const auto &s : w.steps)
+        if (s.kind == Witness::Kind::Block)
+            return {s.block, 0};
+    return {-1, 0};
+}
 
-    const size_t nf = m.functions.size();
+} // namespace
+
+// ---------------------------------------------------------------------
+// Incremental driver. The constructor performs the full analysis;
+// refresh(fn) re-runs only the SCCs whose inputs changed. Diags are
+// bucketed by origin (structural / per-function shape / per-SCC
+// analysis / aggregate) so a partial re-run can splice its bucket
+// back into the flat list in the original emission order.
+
+struct ModuleVerifier::Impl
+{
+    const Module &m;
+    const VerifyConfig cfg;
+
+    bool structural_ok = false;
     std::vector<Cfg> cfgs;
-    cfgs.reserve(nf);
-    for (const auto &fn : m.functions)
-        cfgs.emplace_back(fn);
+    std::vector<char> bad;   ///< per-fn: shape check failed -> top
+    std::vector<char> reach; ///< per-fn: reachable from entry
+    std::vector<std::vector<int>> adj;  ///< call graph (dedup'd edges)
+    std::vector<std::vector<int>> sccs; ///< callee-first SCC order
+    std::vector<int> scc_of;            ///< fn -> index into sccs
+    bool instrumented = false;
 
-    std::vector<char> bad(nf, 0);
-    for (size_t fi = 0; fi < nf; ++fi)
-        bad[fi] = !check_function_shape(m, static_cast<int>(fi), cfgs[fi],
-                                        r.diags);
+    std::vector<Diag> structural_diags;
+    std::vector<std::vector<Diag>> shape_diags; ///< per fn
+    std::vector<std::vector<Diag>> scc_diags;   ///< per SCC
 
-    const auto adj = call_edges(m);
-    std::vector<char> reach(nf, 0);
+    VerifyResult res;
+
+    Impl(const Module &mod, const VerifyConfig &vcfg) : m(mod), cfg(vcfg)
     {
+        res.functions.assign(m.functions.size(), FunctionStretch{});
+        if (!structural_check(m, structural_diags)) {
+            for (auto &f : res.functions)
+                f = top_summary();
+            res.max_stretch = m.functions.empty() ? 0 : kUnboundedStretch;
+            res.diags = structural_diags;
+            res.ok = false;
+            return;
+        }
+        structural_ok = true;
+
+        const size_t nf = m.functions.size();
+        cfgs.reserve(nf);
+        for (const auto &fn : m.functions)
+            cfgs.emplace_back(fn);
+
+        bad.assign(nf, 0);
+        shape_diags.resize(nf);
+        for (size_t fi = 0; fi < nf; ++fi)
+            bad[fi] = !check_function_shape(m, static_cast<int>(fi),
+                                            cfgs[fi], shape_diags[fi]);
+
+        adj = call_edges(m);
+        reach.assign(nf, 0);
         std::deque<int> work{0};
         reach[0] = 1;
         while (!work.empty()) {
@@ -933,29 +993,48 @@ verify_module(const Module &m, const VerifyConfig &cfg)
                     work.push_back(w);
                 }
         }
+
+        instrumented = m.probe_count() > 0;
+
+        Tarjan tarjan(adj);
+        sccs = std::move(tarjan.sccs);
+        scc_of.assign(nf, -1);
+        for (size_t si = 0; si < sccs.size(); ++si)
+            for (int fi : sccs[si])
+                scc_of[static_cast<size_t>(fi)] = static_cast<int>(si);
+        scc_diags.resize(sccs.size());
+
+        for (size_t si = 0; si < sccs.size(); ++si)
+            run_scc(si);
+        aggregate();
     }
 
-    const bool instrumented = m.probe_count() > 0;
-    auto analyze = [&](int fi, std::vector<Diag> &diags) {
+    FunctionStretch
+    analyze(int fi, std::vector<Diag> &diags)
+    {
         const size_t f = static_cast<size_t>(fi);
         if (bad[f])
             return top_summary();
-        return FnAnalyzer(m, fi, cfgs[f], cfg, r.functions,
+        return FnAnalyzer(m, fi, cfgs[f], cfg, res.functions,
                           reach[f] && instrumented, diags)
             .run();
-    };
+    }
 
-    Tarjan tarjan(adj);
-    for (const auto &scc : tarjan.sccs) {
+    void
+    run_scc(size_t si)
+    {
+        std::vector<Diag> &diags = scc_diags[si];
+        diags.clear();
+        const std::vector<int> &scc = sccs[si];
         const bool self_recursive =
             scc.size() == 1 &&
             std::find(adj[static_cast<size_t>(scc[0])].begin(),
                       adj[static_cast<size_t>(scc[0])].end(),
                       scc[0]) != adj[static_cast<size_t>(scc[0])].end();
         if (scc.size() == 1 && !self_recursive) {
-            r.functions[static_cast<size_t>(scc[0])] =
-                analyze(scc[0], r.diags);
-            continue;
+            res.functions[static_cast<size_t>(scc[0])] =
+                analyze(scc[0], diags);
+            return;
         }
         // Recursive SCC: least fixpoint from bottom, widened to top if
         // it fails to converge. Either way the result is conservative.
@@ -963,13 +1042,13 @@ verify_module(const Module &m, const VerifyConfig &cfg)
         for (int fi : scc)
             names += (names.empty() ? "" : ", ") +
                      m.functions[static_cast<size_t>(fi)].name;
-        add_diag(r.diags, Severity::Warning, "recursion",
+        add_diag(diags, Severity::Warning, "recursion",
                  "recursive call cycle {" + names +
                      "}: stretch bounds are solved by fixpoint and may be "
                      "conservative",
                  scc[0], -1, -1);
         for (int fi : scc)
-            r.functions[static_cast<size_t>(fi)] = FunctionStretch{};
+            res.functions[static_cast<size_t>(fi)] = FunctionStretch{};
         bool converged = false;
         std::vector<Diag> scratch;
         for (int round = 0; round < 40 && !converged; ++round) {
@@ -977,65 +1056,170 @@ verify_module(const Module &m, const VerifyConfig &cfg)
             for (int fi : scc) {
                 scratch.clear();
                 FunctionStretch s = analyze(fi, scratch);
-                if (!summary_equal(s, r.functions[static_cast<size_t>(fi)]))
+                if (!summary_equal(s,
+                                   res.functions[static_cast<size_t>(fi)]))
                     converged = false;
-                r.functions[static_cast<size_t>(fi)] = std::move(s);
+                res.functions[static_cast<size_t>(fi)] = std::move(s);
             }
         }
         if (!converged) {
-            add_diag(r.diags, Severity::Warning, "recursion-widened",
+            add_diag(diags, Severity::Warning, "recursion-widened",
                      "recursive cycle {" + names +
                          "} did not converge; widening to unbounded",
                      scc[0], -1, -1);
             for (int fi : scc)
-                r.functions[static_cast<size_t>(fi)] = top_summary();
+                res.functions[static_cast<size_t>(fi)] = top_summary();
         } else {
             for (int fi : scc) {
                 scratch.clear();
-                r.functions[static_cast<size_t>(fi)] = analyze(fi, r.diags);
+                res.functions[static_cast<size_t>(fi)] =
+                    analyze(fi, diags);
             }
         }
     }
 
-    // Aggregate: windows fully inside any reachable activation, plus
-    // the entry function's leading / trailing / silent whole-run
-    // windows (the executor counts stretch from program start).
-    r.max_stretch = 0;
-    r.worst_function = -1;
-    auto consider = [&](uint64_t v, int fi, const Witness &w) {
-        if (r.worst_function < 0 || v > r.max_stretch) {
-            r.max_stretch = v;
-            r.worst_function = fi;
-            r.worst_witness = w;
+    void
+    refresh_fn(int fn)
+    {
+        if (!structural_ok || fn < 0 ||
+            fn >= static_cast<int>(m.functions.size()))
+            return;
+        const size_t f = static_cast<size_t>(fn);
+        shape_diags[f].clear();
+        bad[f] = !check_function_shape(m, fn, cfgs[f], shape_diags[f]);
+
+        // If the module flips between instrumented and probe-free, the
+        // unbounded-cycle severity of *every* function changes: fall
+        // back to a full SCC re-run.
+        const bool now_instrumented = m.probe_count() > 0;
+        const bool force_all = now_instrumented != instrumented;
+        instrumented = now_instrumented;
+
+        std::vector<char> dirty(m.functions.size(), 0);
+        const size_t start =
+            force_all ? 0 : static_cast<size_t>(scc_of[f]);
+        for (size_t si = start; si < sccs.size(); ++si) {
+            bool touched = force_all ||
+                           si == static_cast<size_t>(scc_of[f]);
+            for (size_t i = 0; !touched && i < sccs[si].size(); ++i)
+                for (int callee : adj[static_cast<size_t>(sccs[si][i])])
+                    if (dirty[static_cast<size_t>(callee)]) {
+                        touched = true;
+                        break;
+                    }
+            if (!touched)
+                continue;
+            std::vector<FunctionStretch> old;
+            old.reserve(sccs[si].size());
+            for (int fi : sccs[si])
+                old.push_back(res.functions[static_cast<size_t>(fi)]);
+            run_scc(si);
+            for (size_t i = 0; i < sccs[si].size(); ++i)
+                if (!summary_equal(
+                        old[i],
+                        res.functions[static_cast<size_t>(sccs[si][i])]))
+                    dirty[static_cast<size_t>(sccs[si][i])] = 1;
         }
-    };
-    for (size_t fi = 0; fi < nf; ++fi)
-        if (reach[fi])
-            consider(r.functions[fi].internal, static_cast<int>(fi),
-                     r.functions[fi].internal_witness);
-    const FunctionStretch &entry = r.functions[0];
-    if (entry.may_fire) {
-        consider(entry.entry_gap, 0, entry.entry_witness);
-        consider(entry.exit_gap, 0, Witness{});
+        aggregate();
     }
-    if (entry.may_not_fire)
-        consider(entry.through, 0, Witness{});
 
-    if (instrumented && r.max_stretch == kUnboundedStretch &&
-        !r.has_errors())
-        add_diag(r.diags, Severity::Error, "unbounded-stretch",
-                 "instrumented module has no finite probe-free stretch "
-                 "bound",
-                 r.worst_function, -1, -1, r.worst_witness);
-    if (cfg.fail_above != 0 && r.max_stretch > cfg.fail_above)
-        add_diag(r.diags, Severity::Error, "bound-exceeded",
-                 "proven stretch bound " + fmt_len(r.max_stretch) +
-                     " exceeds the configured limit " +
-                     std::to_string(cfg.fail_above),
-                 r.worst_function, -1, -1, r.worst_witness);
+    void
+    aggregate()
+    {
+        // Reassemble the flat diag list in the original emission order:
+        // structural, per-function shape, per-SCC analysis, aggregate.
+        res.diags = structural_diags;
+        for (const auto &bucket : shape_diags)
+            res.diags.insert(res.diags.end(), bucket.begin(), bucket.end());
+        for (const auto &bucket : scc_diags)
+            res.diags.insert(res.diags.end(), bucket.begin(), bucket.end());
 
-    r.ok = !r.has_errors();
-    return r;
+        // Aggregate: windows fully inside any reachable activation,
+        // plus the entry function's leading / trailing / silent
+        // whole-run windows (the executor counts stretch from program
+        // start).
+        const size_t nf = m.functions.size();
+        res.max_stretch = 0;
+        res.worst_function = -1;
+        res.worst_witness = Witness{};
+        auto consider = [&](uint64_t v, int fi, const Witness &w) {
+            if (res.worst_function < 0 || v > res.max_stretch) {
+                res.max_stretch = v;
+                res.worst_function = fi;
+                res.worst_witness = w;
+            }
+        };
+        for (size_t fi = 0; fi < nf; ++fi)
+            if (reach[fi])
+                consider(res.functions[fi].internal, static_cast<int>(fi),
+                         res.functions[fi].internal_witness);
+        const FunctionStretch &entry = res.functions[0];
+        if (entry.may_fire) {
+            consider(entry.entry_gap, 0, entry.entry_witness);
+            consider(entry.exit_gap, 0, Witness{});
+        }
+        if (entry.may_not_fire)
+            consider(entry.through, 0, Witness{});
+
+        if (instrumented && res.max_stretch == kUnboundedStretch &&
+            !res.has_errors())
+            add_diag(res.diags, Severity::Error, "unbounded-stretch",
+                     "instrumented module has no finite probe-free "
+                     "stretch bound",
+                     res.worst_function, -1, -1, res.worst_witness);
+        if (cfg.fail_above != 0 && res.max_stretch > cfg.fail_above) {
+            std::string msg = "proven stretch bound " +
+                              fmt_len(res.max_stretch) +
+                              " exceeds the configured limit " +
+                              std::to_string(cfg.fail_above);
+            const auto [hot_block, hot_count] =
+                witness_hotspot(res.worst_witness);
+            if (hot_block >= 0 && res.worst_function >= 0) {
+                const std::string loc =
+                    m.functions[static_cast<size_t>(res.worst_function)]
+                        .name +
+                    ":b" + std::to_string(hot_block);
+                if (hot_count > 0)
+                    msg += "; worst window loops through " + loc + " (x" +
+                           std::to_string(hot_count) +
+                           " more iterations)";
+                else
+                    msg += "; worst window runs through " + loc;
+            }
+            add_diag(res.diags, Severity::Error, "bound-exceeded",
+                     std::move(msg), res.worst_function, -1, -1,
+                     res.worst_witness);
+        }
+
+        res.ok = !res.has_errors();
+    }
+};
+
+ModuleVerifier::ModuleVerifier(const Module &m, const VerifyConfig &cfg)
+    : impl_(std::make_unique<Impl>(m, cfg))
+{
+}
+
+ModuleVerifier::~ModuleVerifier() = default;
+
+const VerifyResult &
+ModuleVerifier::result() const
+{
+    return impl_->res;
+}
+
+const VerifyResult &
+ModuleVerifier::refresh(int fn)
+{
+    impl_->refresh_fn(fn);
+    return impl_->res;
+}
+
+VerifyResult
+verify_module(const Module &m, const VerifyConfig &cfg)
+{
+    ModuleVerifier v(m, cfg);
+    return v.result();
 }
 
 // ---------------------------------------------------------------------

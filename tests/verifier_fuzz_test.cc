@@ -16,9 +16,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/rng.h"
 #include "compiler/builder.h"
 #include "compiler/exec.h"
+#include "compiler/optimizer.h"
 #include "compiler/passes.h"
 #include "compiler/verifier.h"
 
@@ -200,6 +203,126 @@ TEST(VerifierFuzz, StaticBoundDominatesDynamicStretch)
     }
     // Sanity: the loop really exercised the differential property.
     EXPECT_GE(executed, kSeeds);
+}
+
+TEST(VerifierFuzz, OptimizerPreservesInvariantOverMoveSequences)
+{
+    // Differential fuzz for the placement optimizer: over the same
+    // >= 1024 random CFGs, run the verify-guided refinement after
+    // each pass and require (a) the optimizer's accept loop agreed
+    // end to end, (b) the proven bound never loosened, (c) probes
+    // never increased, and (d) the executor still respects the final
+    // proven bound — i.e. every greedy move sequence the optimizer
+    // chose is sound, not just the ones the unit tests craft.
+    int executed = 0;
+    int changed = 0;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const Module base = FuzzModuleBuilder(seed).build();
+        PassConfig pcfg;
+        pcfg.bound = kBounds[seed % 3];
+
+        for (int tech = 0; tech < 3; ++tech) {
+            // Execution dominates runtime, as above: TQ always, CI
+            // variants sampled.
+            if (tech != 0 && seed % 8 != 0)
+                continue;
+            Module m = base;
+            if (tech == 0)
+                run_tq_pass(m, pcfg);
+            else if (tech == 1)
+                run_ci_pass(m, pcfg);
+            else
+                run_ci_cycles_pass(m, pcfg);
+            const int probes_before = m.probe_count();
+
+            const OptimizerResult opt = optimize_placement(m);
+            ASSERT_TRUE(opt.ok) << "seed " << seed << " tech " << tech;
+            ASSERT_LE(opt.final_bound, opt.initial_bound)
+                << "seed " << seed << " tech " << tech;
+            ASSERT_LE(opt.final_probes, probes_before)
+                << "seed " << seed << " tech " << tech;
+
+            const VerifyResult vr = verify_module(m);
+            ASSERT_TRUE(vr.ok) << "seed " << seed << " tech " << tech
+                               << "\n"
+                               << report(vr, m);
+            ASSERT_EQ(vr.max_stretch, opt.final_bound)
+                << "seed " << seed << " tech " << tech;
+
+            ExecConfig ecfg;
+            ecfg.seed = seed * 5 + static_cast<uint64_t>(tech);
+            const ExecResult er = execute(m, ecfg);
+            ASSERT_LE(er.max_stretch_instrs, vr.max_stretch)
+                << "optimized placement invariant violated: seed "
+                << seed << " tech " << tech << " bound " << pcfg.bound
+                << "\n"
+                << report(vr, m);
+            ++executed;
+            changed += opt.changed;
+        }
+    }
+    EXPECT_GE(executed, kSeeds);
+    // The optimizer must actually be exercising moves, not vacuously
+    // passing on untouched modules.
+    EXPECT_GE(changed, kSeeds / 8);
+}
+
+TEST(VerifierFuzz, IncrementalRefreshMatchesFullVerifySampled)
+{
+    // ModuleVerifier::refresh is the optimizer's inner loop; sample
+    // seeds and check it against a from-scratch verify_module after
+    // random probe deletions.
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        Module m = FuzzModuleBuilder(seed * 131).build();
+        PassConfig pcfg;
+        pcfg.bound = kBounds[seed % 3];
+        run_tq_pass(m, pcfg);
+
+        ModuleVerifier mv(m);
+        Rng rng(seed);
+        for (int edit = 0; edit < 4; ++edit) {
+            // Delete a random probe, if any remain.
+            std::vector<std::array<int, 3>> sites;
+            for (size_t fi = 0; fi < m.functions.size(); ++fi)
+                for (size_t bi = 0; bi < m.functions[fi].blocks.size();
+                     ++bi) {
+                    const auto &ins =
+                        m.functions[fi].blocks[bi].instrs;
+                    for (size_t ii = 0; ii < ins.size(); ++ii)
+                        if (ins[ii].is_probe())
+                            sites.push_back({static_cast<int>(fi),
+                                             static_cast<int>(bi),
+                                             static_cast<int>(ii)});
+                }
+            if (sites.empty())
+                break;
+            const auto &s =
+                sites[static_cast<size_t>(rng.below(sites.size()))];
+            auto &instrs = m.functions[static_cast<size_t>(s[0])]
+                               .blocks[static_cast<size_t>(s[1])]
+                               .instrs;
+            instrs.erase(instrs.begin() + s[2]);
+
+            const VerifyResult &inc = mv.refresh(s[0]);
+            const VerifyResult full = verify_module(m);
+            ASSERT_EQ(inc.ok, full.ok) << "seed " << seed;
+            ASSERT_EQ(inc.max_stretch, full.max_stretch)
+                << "seed " << seed << " edit " << edit;
+            ASSERT_EQ(inc.diags.size(), full.diags.size())
+                << "seed " << seed;
+            for (size_t fi = 0; fi < full.functions.size(); ++fi) {
+                ASSERT_EQ(inc.functions[fi].internal,
+                          full.functions[fi].internal)
+                    << "seed " << seed << " fn " << fi;
+                ASSERT_EQ(inc.functions[fi].entry_gap,
+                          full.functions[fi].entry_gap)
+                    << "seed " << seed << " fn " << fi;
+                ASSERT_EQ(inc.functions[fi].through,
+                          full.functions[fi].through)
+                    << "seed " << seed << " fn " << fi;
+            }
+        }
+    }
 }
 
 TEST(VerifierFuzz, VerifierDeterministic)

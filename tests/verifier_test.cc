@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "compiler/builder.h"
+#include "compiler/cfg.h"
 #include "compiler/exec.h"
 #include "compiler/passes.h"
 #include "compiler/verifier.h"
@@ -341,6 +342,227 @@ TEST(Verifier, FailAboveThreshold)
 
     vc.fail_above = 200;
     EXPECT_TRUE(verify_module(m, vc).ok);
+}
+
+TEST(Verifier, BoundExceededNamesTheHotLoop)
+{
+    // The budget diagnostic must say *where* the budget blows, not
+    // just that it does: the block feeding the witness's dominant
+    // Repeat marker, with the iteration count. Message pinned.
+    FunctionBuilder fb("main");
+    const int e = fb.add_block();
+    const int h = fb.add_block();
+    const int x = fb.add_block();
+    fb.ops(e, Op::IAlu, 2).jump(e, h);
+    fb.ops(h, Op::IAlu, 6);
+    fb.latch(h, h, x, 100);
+    fb.ops(x, Op::IAlu, 3).ret(x);
+    Function f = fb.build();
+    f.blocks[1].instrs.push_back(
+        Instr::loop_guard(8, LoopGadget::Counter, 6));
+    const Module m = one_fn(std::move(f));
+
+    VerifyConfig vc;
+    vc.fail_above = 40; // proven bound is 50
+    const VerifyResult r = verify_module(m, vc);
+    EXPECT_FALSE(r.ok);
+    std::string msg;
+    for (const auto &d : r.diags)
+        if (d.code == "bound-exceeded")
+            msg = d.message;
+    EXPECT_EQ(msg,
+              "proven stretch bound 50 exceeds the configured limit 40; "
+              "worst window loops through main:b1 (x6 more iterations)");
+}
+
+TEST(Verifier, BoundExceededNamesStraightLineBlock)
+{
+    // Repeat-free worst path: the diagnostic names the first block of
+    // the witness instead of a loop.
+    FunctionBuilder fb("main");
+    const int b = fb.add_block();
+    fb.ops(b, Op::IAlu, 100).ret(b);
+    Module m = one_fn(fb.build());
+    m.functions[0].blocks[0].instrs.push_back(
+        Instr::make_probe(ProbeKind::TqClock));
+
+    VerifyConfig vc;
+    vc.fail_above = 50;
+    const VerifyResult r = verify_module(m, vc);
+    EXPECT_FALSE(r.ok);
+    std::string msg;
+    for (const auto &d : r.diags)
+        if (d.code == "bound-exceeded")
+            msg = d.message;
+    EXPECT_EQ(msg,
+              "proven stretch bound 100 exceeds the configured limit 50; "
+              "worst window runs through main:b0");
+}
+
+// --------------------------------------------------------------------
+// Witness replay: re-derive the proven stretch from the reconstructed
+// path alone. A witness is only evidence if its block sequence is CFG-
+// consistent and its weights re-add to the claimed bound.
+
+/** Real (non-probe) instructions of block @p b before index @p upto
+ *  (-1 = the whole block). */
+uint64_t
+block_real_weight(const Module &m, int fn, int b, int upto)
+{
+    const auto &instrs = m.functions[static_cast<size_t>(fn)]
+                             .blocks[static_cast<size_t>(b)]
+                             .instrs;
+    uint64_t w = 0;
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        if (upto >= 0 && static_cast<int>(i) >= upto)
+            break;
+        w += !instrs[i].is_probe();
+    }
+    return w;
+}
+
+/**
+ * Replay @p w through the semantics the executor implements: walk the
+ * steps, charging each Block step its real-instruction weight (up to
+ * the next Firing when it sits in the same block), and expanding each
+ * Repeat marker by re-walking the segment between the previous two
+ * Firing steps of the same site `count` more times. Verifies CFG
+ * adjacency of consecutive Block steps along the way. Call-free,
+ * untruncated witnesses only (crafted shapes).
+ */
+uint64_t
+replay_witness(const Module &m, const Witness &w)
+{
+    const auto &steps = w.steps;
+    uint64_t total = 0;
+    int prev_block_fn = -1;
+    int prev_block = -1;
+
+    auto step_weight = [&](size_t i) -> uint64_t {
+        const auto &s = steps[i];
+        if (s.kind != Witness::Kind::Block)
+            return 0;
+        int upto = -1;
+        if (i + 1 < steps.size() &&
+            steps[i + 1].kind == Witness::Kind::Firing &&
+            steps[i + 1].block == s.block && steps[i + 1].fn == s.fn)
+            upto = steps[i + 1].instr;
+        return block_real_weight(m, s.fn, s.block, upto);
+    };
+
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const auto &s = steps[i];
+        EXPECT_NE(s.kind, Witness::Kind::EnterCall)
+            << "replay does not model calls";
+        EXPECT_NE(s.kind, Witness::Kind::Truncated);
+        if (s.kind == Witness::Kind::Block) {
+            if (prev_block >= 0 && s.fn == prev_block_fn) {
+                const Cfg cfg(
+                    m.functions[static_cast<size_t>(s.fn)]);
+                const auto &succs = cfg.succs(prev_block);
+                EXPECT_NE(std::find(succs.begin(), succs.end(), s.block),
+                          succs.end())
+                    << "witness jumps b" << prev_block << " -> b"
+                    << s.block;
+            }
+            prev_block_fn = s.fn;
+            prev_block = s.block;
+            total += step_weight(i);
+        } else if (s.kind == Witness::Kind::Repeat) {
+            // The repeating unit is the step segment between the two
+            // most recent firings of the same probe site.
+            size_t j2 = i;
+            while (j2-- > 0)
+                if (steps[j2].kind == Witness::Kind::Firing)
+                    break;
+            size_t j1 = j2;
+            while (j1-- > 0)
+                if (steps[j1].kind == Witness::Kind::Firing &&
+                    steps[j1].fn == steps[j2].fn &&
+                    steps[j1].block == steps[j2].block &&
+                    steps[j1].instr == steps[j2].instr)
+                    break;
+            uint64_t unit = 0;
+            for (size_t k = j1 + 1; k <= j2; ++k)
+                unit += step_weight(k);
+            total += s.count * unit;
+        }
+    }
+    return total;
+}
+
+TEST(Verifier, WitnessReplayStraightLine)
+{
+    FunctionBuilder fb("main");
+    const int b = fb.add_block();
+    fb.ops(b, Op::IAlu, 10);
+    Function f = fb.build();
+    f.blocks[0].instrs.push_back(Instr::make_probe(ProbeKind::TqClock));
+    for (int i = 0; i < 7; ++i)
+        f.blocks[0].instrs.push_back(Instr::make(Op::IAlu));
+    f.blocks[0].term = Terminator::ret();
+    const Module m = one_fn(std::move(f));
+
+    const VerifyResult r = verify_module(m);
+    ASSERT_TRUE(r.ok) << report(r, m);
+    ASSERT_FALSE(r.worst_witness.empty());
+    EXPECT_EQ(replay_witness(m, r.worst_witness), r.max_stretch);
+    EXPECT_EQ(execute(m, exec_cfg()).max_stretch_instrs, r.max_stretch);
+}
+
+TEST(Verifier, WitnessReplayBranchyPath)
+{
+    // Diamond: entry(2) -> {then(5) | else(9)} -> join(probe, 4).
+    // The worst path takes the heavy arm: replayed weight must be
+    // exactly 2 + 9 = 11 and the adjacency checks must accept the
+    // branch edges.
+    FunctionBuilder fb("main");
+    const int e = fb.add_block();
+    const int t = fb.add_block();
+    const int el = fb.add_block();
+    const int j = fb.add_block();
+    fb.ops(e, Op::IAlu, 2).branch(e, t, el, 0.5);
+    fb.ops(t, Op::IAlu, 5).jump(t, j);
+    fb.ops(el, Op::IAlu, 9).jump(el, j);
+    fb.ops(j, Op::IAlu, 4).ret(j);
+    Function f = fb.build();
+    f.blocks[3].instrs.insert(f.blocks[3].instrs.begin(),
+                              Instr::make_probe(ProbeKind::TqClock));
+    const Module m = one_fn(std::move(f));
+
+    const VerifyResult r = verify_module(m);
+    ASSERT_TRUE(r.ok) << report(r, m);
+    EXPECT_EQ(r.max_stretch, 11u);
+    EXPECT_EQ(replay_witness(m, r.worst_witness), r.max_stretch);
+    const ExecResult er = execute(m, exec_cfg());
+    EXPECT_LE(er.max_stretch_instrs, r.max_stretch);
+}
+
+TEST(Verifier, WitnessReplayGuardedLoopCrossIteration)
+{
+    // The cross-iteration shape: the witness compresses 8 guarded
+    // iterations into a Repeat marker; expansion must re-add to both
+    // the entry bound (50) and the internal window (48), and the
+    // executor must realize the bound exactly.
+    FunctionBuilder fb("main");
+    const int e = fb.add_block();
+    const int h = fb.add_block();
+    const int x = fb.add_block();
+    fb.ops(e, Op::IAlu, 2).jump(e, h);
+    fb.ops(h, Op::IAlu, 6);
+    fb.latch(h, h, x, 100);
+    fb.ops(x, Op::IAlu, 3).ret(x);
+    Function f = fb.build();
+    f.blocks[1].instrs.push_back(
+        Instr::loop_guard(8, LoopGadget::Counter, 6));
+    const Module m = one_fn(std::move(f));
+
+    const VerifyResult r = verify_module(m);
+    ASSERT_TRUE(r.ok) << report(r, m);
+    EXPECT_EQ(r.max_stretch, 50u);
+    EXPECT_EQ(replay_witness(m, r.worst_witness), 50u);
+    EXPECT_EQ(replay_witness(m, r.functions[0].internal_witness), 48u);
+    EXPECT_EQ(execute(m, exec_cfg()).max_stretch_instrs, r.max_stretch);
 }
 
 TEST(Verifier, AllProgramsAllPassesBoundSweep)

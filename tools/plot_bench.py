@@ -18,7 +18,9 @@ grouped before/after Mrps bar chart plus a speedup series;
 event_queue_hold rows (BENCH_sim.json) become legacy-vs-new events/sec
 bars over queue size plus the per-bench figure-suite speedup chart;
 a scenarios document (BENCH_scenarios.json) becomes baseline-vs-bursty
-p999 bars plus the fan-out sojourn curves.
+p999 bars plus the fan-out sojourn curves; a compiler document
+(BENCH_compiler.json) becomes TQ-vs-TQopt probe-count and proven-bound
+bar charts.
 
 Usage:
     build/bench/fig01_quantum_slowdown | tools/plot_bench.py -o fig01.png
@@ -275,6 +277,55 @@ def plot_scenarios_json(path, output):
     print(f"wrote {output}")
 
 
+def plot_compiler_json(path, output):
+    """Render BENCH_compiler.json: per-workload TQ-vs-TQopt probe counts
+    and proven bounds from the verify-guided placement optimizer."""
+    with open(path) as f:
+        data = json.load(f)
+    rows = data["per_workload"]
+    names = [r["workload"] for r in rows]
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(2, 1, figsize=(12, 8), squeeze=False)
+    xs = range(len(rows))
+    width = 0.38
+
+    ax = axes[0][0]
+    ax.bar([x - width / 2 for x in xs],
+           [r["probes"]["tq"] for r in rows], width, label="tq")
+    ax.bar([x + width / 2 for x in xs],
+           [r["probes"]["tq_opt"] for r in rows], width, label="tq_opt")
+    ax.set_ylabel("static probes")
+    ax.set_title("probe count before/after optimize_placement", fontsize=9)
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(names, rotation=60, ha="right", fontsize=7)
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+
+    ax2 = axes[1][0]
+    ax2.bar([x - width / 2 for x in xs],
+            [r["proven_bound"]["tq"] for r in rows], width, label="tq")
+    ax2.bar([x + width / 2 for x in xs],
+            [r["proven_bound"]["tq_opt"] for r in rows], width,
+            label="tq_opt")
+    ax2.set_ylabel("proven stretch bound")
+    ax2.set_yscale("log")
+    ax2.set_title("verifier's proven worst-case probe-free stretch",
+                  fontsize=9)
+    ax2.set_xticks(list(xs))
+    ax2.set_xticklabels(names, rotation=60, ha="right", fontsize=7)
+    ax2.legend(fontsize=8)
+    ax2.grid(True, axis="y", alpha=0.3)
+
+    fig.tight_layout()
+    fig.savefig(output, dpi=130)
+    print(f"wrote {output}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("input", nargs="?", help="bench output file (default stdin)")
@@ -286,6 +337,8 @@ def main():
             keys = json.load(f)
         if "scenarios" in keys:
             plot_scenarios_json(args.input, args.output)
+        elif "per_workload" in keys:
+            plot_compiler_json(args.input, args.output)
         elif "event_queue_hold" in keys:
             plot_sim_json(args.input, args.output)
         else:

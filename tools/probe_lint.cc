@@ -11,12 +11,22 @@
  *
  * Usage:
  *   probe_lint [--json] [--bounds N,N,...] [--passes tq,ci,cicycles]
- *              [--programs name,...] [--limit-multiple X] [--list]
+ *              [--programs name,...] [--limit-multiple X]
+ *              [--optimize] [--budget N] [--list]
  *
  *   --json            machine-readable output (one JSON document)
  *   --bounds          placement bounds to sweep (default 100,400,1600)
  *   --passes          techniques to lint (default all three)
  *   --programs        comma-separated program names (default all)
+ *   --optimize        additionally run the verify-guided placement
+ *                     optimizer (compiler/optimizer.h) on each
+ *                     placement and report the refined probe count and
+ *                     proven bound; exits nonzero if any optimized
+ *                     placement fails verification
+ *   --budget N        stretch budget (instructions) the optimized
+ *                     placement must prove (default 0 = each
+ *                     placement's own proven bound — never loosen);
+ *                     only meaningful with --optimize
  *   --limit-multiple  fail when proven bound > X * placement bound
  *                     (default 0 = disabled: TQ's per-frame loop-guard
  *                     counters compound across call boundaries, so the
@@ -33,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/optimizer.h"
 #include "compiler/passes.h"
 #include "compiler/verifier.h"
 #include "progs/programs.h"
@@ -53,6 +64,8 @@ struct Options
     std::vector<std::string> passes = {"tq", "ci", "cicycles"};
     std::vector<std::string> programs; // empty = all
     double limit_multiple = 0.0;
+    bool optimize = false;
+    uint64_t budget = 0;
 };
 
 std::vector<std::string>
@@ -81,7 +94,8 @@ usage_error(const char *msg)
     std::fprintf(stderr,
                  "usage: probe_lint [--json] [--bounds N,N,...] "
                  "[--passes tq,ci,cicycles] [--programs name,...] "
-                 "[--limit-multiple X] [--list]\n");
+                 "[--limit-multiple X] [--optimize] [--budget N] "
+                 "[--list]\n");
     std::exit(2);
 }
 
@@ -119,6 +133,15 @@ parse_args(int argc, char **argv)
                 usage_error("empty --passes");
         } else if (arg == "--programs") {
             opt.programs = split(value());
+        } else if (arg == "--optimize") {
+            opt.optimize = true;
+        } else if (arg == "--budget" || arg.rfind("--budget=", 0) == 0) {
+            const std::string v =
+                arg == "--budget" ? value() : arg.substr(9);
+            const long long b = std::atoll(v.c_str());
+            if (b <= 0)
+                usage_error("--budget must be a positive integer");
+            opt.budget = static_cast<uint64_t>(b);
         } else if (arg == "--limit-multiple") {
             opt.limit_multiple = std::atof(value().c_str());
             if (opt.limit_multiple < 0)
@@ -175,6 +198,14 @@ struct Row
     int errors = 0;
     int warnings = 0;
     std::vector<std::string> diags;
+
+    // --optimize results.
+    bool opt_run = false;
+    bool opt_ok = false;
+    int opt_probes = 0;
+    uint64_t opt_bound = 0;
+    int opt_deleted = 0;
+    int opt_hoisted = 0;
 };
 
 } // namespace
@@ -231,14 +262,34 @@ main(int argc, char **argv)
                     row.diags.push_back(tq::compiler::to_string(d, m));
                 }
                 failed |= !vr.ok;
+
+                if (opt.optimize) {
+                    // The optimizer re-proves the target after every
+                    // move itself; the budget rides in as the target
+                    // bound, not as a fail_above error.
+                    tq::compiler::OptimizerConfig ocfg;
+                    ocfg.target_bound = opt.budget;
+                    const tq::compiler::OptimizerResult optr =
+                        optimize_placement(m, ocfg);
+                    row.opt_run = true;
+                    row.opt_ok = optr.ok;
+                    row.opt_probes = optr.final_probes;
+                    row.opt_bound = optr.final_bound;
+                    row.opt_deleted = optr.deleted;
+                    row.opt_hoisted = optr.hoisted;
+                    failed |= !optr.ok;
+                }
                 rows.push_back(std::move(row));
             }
         }
     }
 
     if (opt.json) {
-        std::printf("{\n  \"limit_multiple\": %g,\n  \"results\": [\n",
-                    opt.limit_multiple);
+        std::printf("{\n  \"limit_multiple\": %g,\n"
+                    "  \"optimize\": %s,\n  \"budget\": %llu,\n"
+                    "  \"results\": [\n",
+                    opt.limit_multiple, opt.optimize ? "true" : "false",
+                    static_cast<unsigned long long>(opt.budget));
         for (size_t i = 0; i < rows.size(); ++i) {
             const Row &r = rows[i];
             std::printf("    {\"program\": \"%s\", \"pass\": \"%s\", "
@@ -256,12 +307,33 @@ main(int argc, char **argv)
             for (size_t j = 0; j < r.diags.size(); ++j)
                 std::printf("%s\"%s\"", j ? ", " : "",
                             json_escape(r.diags[j]).c_str());
-            std::printf("]}%s\n", i + 1 < rows.size() ? "," : "");
+            std::printf("]");
+            if (r.opt_run) {
+                std::printf(", \"opt\": {\"probes\": %d, ", r.opt_probes);
+                if (r.opt_bound == tq::compiler::kUnboundedStretch)
+                    std::printf("\"bound\": null, ");
+                else
+                    std::printf("\"bound\": %llu, ",
+                                static_cast<unsigned long long>(
+                                    r.opt_bound));
+                std::printf("\"deleted\": %d, \"hoisted\": %d, "
+                            "\"ok\": %s}",
+                            r.opt_deleted, r.opt_hoisted,
+                            r.opt_ok ? "true" : "false");
+            }
+            std::printf("}%s\n", i + 1 < rows.size() ? "," : "");
         }
         std::printf("  ],\n  \"ok\": %s\n}\n", failed ? "false" : "true");
     } else {
-        std::printf("%-22s %-9s %6s %7s %12s %7s  %s\n", "program", "pass",
-                    "bound", "probes", "static-bound", "ratio", "status");
+        if (opt.optimize)
+            std::printf("%-22s %-9s %6s %7s %12s %7s %10s %12s  %s\n",
+                        "program", "pass", "bound", "probes",
+                        "static-bound", "ratio", "opt-probes", "opt-bound",
+                        "status");
+        else
+            std::printf("%-22s %-9s %6s %7s %12s %7s  %s\n", "program",
+                        "pass", "bound", "probes", "static-bound", "ratio",
+                        "status");
         for (const Row &r : rows) {
             char bound_buf[32];
             char ratio_buf[32];
@@ -276,10 +348,27 @@ main(int argc, char **argv)
                               static_cast<double>(r.static_bound) /
                                   r.bound);
             }
-            std::printf("%-22s %-9s %6d %7d %12s %7s  %s\n",
-                        r.program.c_str(), r.pass.c_str(), r.bound,
-                        r.probes, bound_buf, ratio_buf,
-                        r.ok ? "ok" : "FAIL");
+            const bool row_ok = r.ok && (!r.opt_run || r.opt_ok);
+            if (opt.optimize) {
+                char opt_bound_buf[32];
+                if (r.opt_bound == tq::compiler::kUnboundedStretch)
+                    std::snprintf(opt_bound_buf, sizeof opt_bound_buf,
+                                  "unbounded");
+                else
+                    std::snprintf(opt_bound_buf, sizeof opt_bound_buf,
+                                  "%llu",
+                                  static_cast<unsigned long long>(
+                                      r.opt_bound));
+                std::printf("%-22s %-9s %6d %7d %12s %7s %10d %12s  %s\n",
+                            r.program.c_str(), r.pass.c_str(), r.bound,
+                            r.probes, bound_buf, ratio_buf, r.opt_probes,
+                            opt_bound_buf, row_ok ? "ok" : "FAIL");
+            } else {
+                std::printf("%-22s %-9s %6d %7d %12s %7s  %s\n",
+                            r.program.c_str(), r.pass.c_str(), r.bound,
+                            r.probes, bound_buf, ratio_buf,
+                            row_ok ? "ok" : "FAIL");
+            }
             if (!r.ok)
                 for (const auto &d : r.diags)
                     std::printf("    %s\n", d.c_str());

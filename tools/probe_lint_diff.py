@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff a probe_lint --json run against the checked-in golden baseline.
+
+Usage: probe_lint_diff.py BASELINE.json CURRENT.json
+
+Both files are probe_lint --json documents. Rows are keyed by
+(program, pass, bound). The gate fails (exit 1) on:
+
+  - a regression: probe count or proven static bound increased, or a
+    previously-ok row now fails verification;
+  - a missing row: a (program, pass, bound) combination present in the
+    baseline is absent from the current run.
+
+Improvements (fewer probes, tighter bound) and new rows are reported
+but do not fail — regenerate the baseline to lock them in:
+
+    ./build/tools/probe_lint --json --bounds 100,400,1600 \\
+        > tests/data/probe_lint_baseline.json
+"""
+
+import json
+import sys
+
+
+def rows_by_key(doc):
+    out = {}
+    for r in doc["results"]:
+        out[(r["program"], r["pass"], r["bound"])] = r
+    return out
+
+
+def fmt_bound(v):
+    return "unbounded" if v is None else str(v)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = rows_by_key(json.load(f))
+    with open(sys.argv[2]) as f:
+        current = rows_by_key(json.load(f))
+
+    regressions = []
+    improvements = []
+    for key, base in sorted(baseline.items()):
+        name = "%s/%s/bound=%d" % key
+        cur = current.get(key)
+        if cur is None:
+            regressions.append("%s: missing from current run" % name)
+            continue
+        if base["ok"] and not cur["ok"]:
+            regressions.append("%s: was ok, now fails verification" % name)
+        if cur["probes"] > base["probes"]:
+            regressions.append(
+                "%s: probes %d -> %d"
+                % (name, base["probes"], cur["probes"])
+            )
+        elif cur["probes"] < base["probes"]:
+            improvements.append(
+                "%s: probes %d -> %d"
+                % (name, base["probes"], cur["probes"])
+            )
+        bb, cb = base["static_bound"], cur["static_bound"]
+        # None renders the unbounded sentinel: worse than any number.
+        if (bb is not None and cb is None) or (
+            bb is not None and cb is not None and cb > bb
+        ):
+            regressions.append(
+                "%s: static bound %s -> %s"
+                % (name, fmt_bound(bb), fmt_bound(cb))
+            )
+        elif cb is not None and (bb is None or cb < bb):
+            improvements.append(
+                "%s: static bound %s -> %s"
+                % (name, fmt_bound(bb), fmt_bound(cb))
+            )
+
+    new_rows = sorted(set(current) - set(baseline))
+
+    for line in improvements:
+        print("improved: " + line)
+    for key in new_rows:
+        print("new row (not gated): %s/%s/bound=%d" % key)
+    for line in regressions:
+        print("REGRESSION: " + line)
+
+    print(
+        "%d rows checked: %d regression(s), %d improvement(s), %d new"
+        % (len(baseline), len(regressions), len(improvements), len(new_rows))
+    )
+    if regressions:
+        print("probe_lint_diff: FAIL (see REGRESSION lines above)")
+        return 1
+    if improvements:
+        print(
+            "probe_lint_diff: ok — improvements found; regenerate "
+            "tests/data/probe_lint_baseline.json to lock them in"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
