@@ -21,22 +21,31 @@ int
 main(int argc, char **argv)
 {
     const int threads = bench::sweep_threads(argc, argv);
+    bench::SystemOptions opts;
+    opts.arrival = bench::arrival_spec(argc, argv);
+    // Per-class TQ column (TQPC, DESIGN.md §4i): shorts get a quantum
+    // covering their whole demand (one slice, no processor-sharing
+    // requeues), longs are sliced finer than the 2us fixed quantum so
+    // in-service blocking of shorts shrinks.
+    opts.tq_class_quantum = {us(2), us(0.5)};
     bench::banner("Figure 7",
                   "TQ vs Shinjuku vs Caladan, bimodal workloads, 99.9% "
                   "sojourn (us)");
+    std::printf("# arrival: %s; TQPC class quanta Short 2us, Long 0.5us\n",
+                bench::arrival_name(opts.arrival));
     {
         std::printf("## Extreme Bimodal (99.5%% x 0.5us, 0.5%% x 500us); "
                     "Shinjuku quantum 5us\n");
         auto dist = workload_table::extreme_bimodal();
         bench::compare_systems(*dist, rate_grid(mrps(0.5), mrps(4.75), 9),
-                               5.0, {"Short", "Long"}, threads);
+                               5.0, {"Short", "Long"}, threads, opts);
     }
     {
         std::printf("## High Bimodal (50%% x 1us, 50%% x 100us); Shinjuku "
                     "quantum 5us\n");
         auto dist = workload_table::high_bimodal();
         bench::compare_systems(*dist, rate_grid(mrps(0.04), mrps(0.30), 9),
-                               5.0, {"Short", "Long"}, threads);
+                               5.0, {"Short", "Long"}, threads, opts);
     }
     return 0;
 }

@@ -20,9 +20,19 @@ using namespace tq::sim;
 int
 main(int argc, char **argv)
 {
+    bench::SystemOptions opts;
+    opts.arrival = bench::arrival_spec(argc, argv);
+    // Per-class TQ column (TQPC, DESIGN.md §4i): one slice for the two
+    // short transaction types, a mid quantum for NewOrder, fine slicing
+    // for the two long types so Payment sees less in-service blocking.
+    opts.tq_class_quantum = {us(6), us(6), us(5), us(1), us(1)};
     bench::banner("Figure 8",
                   "TPC-C: per-type 99.9% sojourn (us) and overall 99.9% "
                   "slowdown; Shinjuku quantum 10us");
+    std::printf("# arrival: %s; TQPC class quanta Payment 6us, "
+                "OrderStatus 6us, NewOrder 5us, Delivery 1us, "
+                "StockLevel 1us\n",
+                bench::arrival_name(opts.arrival));
     auto dist = workload_table::tpcc();
     const auto rates = rate_grid(mrps(0.1), mrps(0.8), 8);
     // The slowdown table below reuses the same rows (this bench used to
@@ -30,17 +40,18 @@ main(int argc, char **argv)
     const auto rows =
         bench::compare_systems(*dist, rates, 10.0,
                                {"Payment", "StockLevel"},
-                               bench::sweep_threads(argc, argv));
+                               bench::sweep_threads(argc, argv), opts);
 
-    std::printf("## overall 99.9%% slowdown\nrate_mrps\tTQ\tShinjuku\t"
-                "Caladan\n");
+    std::printf("## overall 99.9%% slowdown\nrate_mrps\tTQ\tTQPC\t"
+                "Shinjuku\tCaladan\n");
     for (size_t i = 0; i < rates.size(); ++i) {
         auto fmt = [](const SimResult &r) {
             return r.saturated ? std::string("sat")
                                : bench::cell(r.overall_p999_slowdown);
         };
-        std::printf("%.2f\t%s\t%s\t%s\n", to_mrps(rates[i]),
-                    fmt(rows[i].tq).c_str(), fmt(rows[i].shinjuku).c_str(),
+        std::printf("%.2f\t%s\t%s\t%s\t%s\n", to_mrps(rates[i]),
+                    fmt(rows[i].tq).c_str(), fmt(rows[i].tq_pc).c_str(),
+                    fmt(rows[i].shinjuku).c_str(),
                     fmt(rows[i].caladan_io).c_str());
         std::fflush(stdout);
     }

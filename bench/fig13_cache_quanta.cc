@@ -9,21 +9,25 @@
  * fits, above 256KB even 16us quanta already miss; 0.5us tracks 2us.
  */
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
 #include "cache/chase.h"
+#include "workloads/minikv.h"
 
 using namespace tq;
 using namespace tq::cache;
 
-int
-main()
+namespace {
+
+/** One latency-vs-array-size table; Zipf(s>0) draws the visited line
+ *  per access from workloads::ZipfKeyGen instead of the fixed chase
+ *  order (hot lines survive preemption, so quantum sensitivity
+ *  shrinks). */
+void
+latency_table(const std::vector<double> &quanta_us, double zipf_s)
 {
-    bench::banner("Figure 13",
-                  "TLS pointer-chase: avg access latency (ns) vs array "
-                  "size, quanta {0.5, 2, 16} us");
-    const std::vector<double> quanta_us = {0.5, 2, 16};
     std::printf("array_kb");
     for (double q : quanta_us)
         std::printf("\tq%.1fus", q);
@@ -36,11 +40,34 @@ main()
             cfg.array_bytes = kb * 1024;
             cfg.quantum = us(q);
             cfg.centralized = false;
+            std::shared_ptr<workloads::ZipfKeyGen> gen;
+            if (zipf_s > 0) {
+                gen = std::make_shared<workloads::ZipfKeyGen>(
+                    cfg.array_bytes / 64, zipf_s);
+                cfg.line_sampler = [gen](Rng &rng) {
+                    return gen->sample_key(rng);
+                };
+            }
             const ChaseResult r = run_chase(cfg);
             std::printf("\t%.2f", r.avg_latency_ns);
         }
         std::printf("\n");
         std::fflush(stdout);
     }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 13",
+                  "TLS pointer-chase: avg access latency (ns) vs array "
+                  "size, quanta {0.5, 2, 16} us");
+    const std::vector<double> quanta_us = {0.5, 2, 16};
+    std::printf("## uniform chase (paper's fixed iteration order)\n");
+    latency_table(quanta_us, 0);
+    std::printf("## Zipf(0.99) hot lines (workloads::ZipfKeyGen)\n");
+    latency_table(quanta_us, 0.99);
     return 0;
 }

@@ -9,24 +9,35 @@
  * amplification).
  */
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "cache/chase.h"
+#include "workloads/minikv.h"
 
 using namespace tq;
 using namespace tq::cache;
 
-int
-main()
+namespace {
+
+/** TLS-vs-CT latency table; zipf_s > 0 draws visited lines from
+ *  workloads::ZipfKeyGen (skewed mix) instead of the fixed order. */
+void
+tls_vs_ct_table(double zipf_s)
 {
-    bench::banner("Figure 14 / Table 2",
-                  "TLS vs CT pointer-chase at 2us quanta: avg access "
-                  "latency (ns) and reuse-distance amplification");
     std::printf("array_kb\tTLS\tCT\tTLS_l2_missrate\tCT_l2_missrate\n");
     for (size_t kb = 1; kb <= 1024; kb *= 2) {
         ChaseConfig cfg;
         cfg.array_bytes = kb * 1024;
         cfg.quantum = us(2);
+        std::shared_ptr<workloads::ZipfKeyGen> gen;
+        if (zipf_s > 0) {
+            gen = std::make_shared<workloads::ZipfKeyGen>(
+                cfg.array_bytes / 64, zipf_s);
+            cfg.line_sampler = [gen](Rng &rng) {
+                return gen->sample_key(rng);
+            };
+        }
         cfg.centralized = false;
         const ChaseResult tls = run_chase(cfg);
         cfg.centralized = true;
@@ -35,6 +46,20 @@ main()
                     ct.avg_latency_ns, tls.l2_miss_rate, ct.l2_miss_rate);
         std::fflush(stdout);
     }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 14 / Table 2",
+                  "TLS vs CT pointer-chase at 2us quanta: avg access "
+                  "latency (ns) and reuse-distance amplification");
+    std::printf("## uniform chase (paper's fixed iteration order)\n");
+    tls_vs_ct_table(0);
+    std::printf("## Zipf(0.99) hot lines (workloads::ZipfKeyGen)\n");
+    tls_vs_ct_table(0.99);
 
     // Table 2's empirical check: reuse distances of first-in-quantum
     // accesses amplify by J (TLS) vs C*J (CT).

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cache/chase.h"
 #include "common/arrival.h"
 #include "common/dist.h"
 #include "net/loadgen.h"
@@ -203,6 +204,29 @@ runtime_kv_arm(const workloads::ZipfKeyGen &gen, double rate_mrps,
     return a;
 }
 
+/**
+ * Pointer-chase latency with uniform vs Zipf(0.99) hot lines (the
+ * fig13-15 "Zipfian mix" delta, recorded here so BENCH_scenarios.json
+ * carries the skew story end to end). 16KB arrays at 2us quanta sit in
+ * the quantum-sensitive L1 region, so hot-line skew visibly cuts the
+ * average access latency: the hot set survives preemption.
+ */
+double
+chase_latency_ns(double zipf_s)
+{
+    cache::ChaseConfig cfg;
+    cfg.array_bytes = 16 * 1024;
+    cfg.quantum = us(2);
+    cfg.centralized = false;
+    std::shared_ptr<workloads::ZipfKeyGen> gen;
+    if (zipf_s > 0) {
+        gen = std::make_shared<workloads::ZipfKeyGen>(cfg.array_bytes / 64,
+                                                      zipf_s);
+        cfg.line_sampler = [gen](Rng &rng) { return gen->sample_key(rng); };
+    }
+    return cache::run_chase(cfg).avg_latency_ns;
+}
+
 const char *
 cell_arm(const Arm &a, char *buf, size_t n)
 {
@@ -253,6 +277,9 @@ main(int argc, char **argv)
                                           &uniform_share);
     const Arm kv_zipf = runtime_kv_arm(zipf_keys, rt_rate, &zipf_share);
 
+    const double chase_uniform_ns = chase_latency_ns(0);
+    const double chase_zipf_ns = chase_latency_ns(0.99);
+
     const std::vector<int> ks = {1, 2, 4, 8};
     std::vector<Arm> fan_sim, fan_rt;
     std::vector<double> fan_spread_us;
@@ -272,7 +299,8 @@ main(int argc, char **argv)
         std::printf(
             "  \"description\": \"Scenario diversity: p999 sojourn under "
             "MMPP bursts vs Poisson (same mean rate, sim + runtime), "
-            "uniform vs Zipf(0.99) MiniKV GETs on the runtime, and "
+            "uniform vs Zipf(0.99) MiniKV GETs on the runtime, uniform "
+            "vs Zipf(0.99) pointer-chase lines in the cache model, and "
             "scatter-gather fan-out k in {1,2,4,8} (sim + runtime). "
             "Runtime arms timeshare one host, so cross-arm ratios are "
             "the signal, not absolute values.\",\n");
@@ -306,6 +334,12 @@ main(int argc, char **argv)
             "\"zipf_mean_us\": %.2f, \"hottest_key_share\": %.4f },\n",
             kv_uniform.p999_us, kv_zipf.p999_us, kv_uniform.mean_us,
             kv_zipf.mean_us, zipf_share);
+        std::printf(
+            "    \"zipf_chase\": { \"array_kb\": 16, \"quantum_us\": 2, "
+            "\"uniform_avg_ns\": %.2f, \"zipf_avg_ns\": %.2f, "
+            "\"latency_ratio\": %.2f },\n",
+            chase_uniform_ns, chase_zipf_ns,
+            chase_uniform_ns > 0 ? chase_zipf_ns / chase_uniform_ns : 0);
         std::printf("    \"fanout_sim\": [\n");
         for (size_t i = 0; i < ks.size(); ++i)
             std::printf("      { \"k\": %d, \"mean_us\": %.2f, "
@@ -346,6 +380,10 @@ main(int argc, char **argv)
                 kv_uniform.mean_us, uniform_share);
     std::printf("zipf0.99\t%.1f\t%.1f\t%.4f\n", kv_zipf.p999_us,
                 kv_zipf.mean_us, zipf_share);
+    std::printf("## zipf pointer-chase (16KB arrays, 2us quanta, TLS)\n");
+    std::printf("lines\tavg_latency_ns\n");
+    std::printf("uniform\t%.2f\n", chase_uniform_ns);
+    std::printf("zipf0.99\t%.2f\n", chase_zipf_ns);
     std::printf("## scatter-gather fan-out (sim)\n");
     std::printf("k\tmean_us\tp999_us\tmean_vs_k1\n");
     for (size_t i = 0; i < ks.size(); ++i)

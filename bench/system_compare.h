@@ -22,10 +22,33 @@
 
 namespace tq::bench {
 
-/** The four simulations behind one comparison row. */
+/**
+ * Optional axes of the three-system comparison. Defaults reproduce the
+ * historical harness byte for byte: Poisson arrivals, no per-class TQ
+ * variant.
+ */
+struct SystemOptions
+{
+    /** Arrival process shared by all systems (`--arrival=onoff`). */
+    ArrivalSpec arrival;
+
+    /**
+     * When non-empty, an extra TQ variant with per-class quanta
+     * (TwoLevelConfig::class_quantum, one entry per workload class, ns)
+     * plus the deficit/starvation mirror runs alongside the fixed-
+     * quantum TQ and prints as `TQPC_<class>` columns (DESIGN.md §4i).
+     */
+    std::vector<SimNanos> tq_class_quantum;
+    SimNanos tq_deficit_clamp = us(8);
+    uint64_t tq_starvation_promote_after = 128;
+};
+
+/** The simulations behind one comparison row. */
 struct SystemRow
 {
     sim::SimResult tq;
+    sim::SimResult tq_pc; ///< per-class TQ; only run when
+                          ///< SystemOptions::tq_class_quantum is set
     sim::SimResult shinjuku;
     sim::SimResult caladan_io;
     sim::SimResult caladan_dp;
@@ -52,42 +75,63 @@ struct SystemRow
  */
 inline std::vector<SystemRow>
 run_systems(const ServiceDist &dist, const std::vector<double> &rates,
-            double shinjuku_quantum_us, int threads)
+            double shinjuku_quantum_us, int threads,
+            const SystemOptions &opts = {})
 {
     using namespace tq::sim;
 
     std::vector<SystemRow> rows(rates.size());
     // Tables render "sat" for saturated cells and the best-of-Caladan
     // pick only compares saturation flags and non-saturated slowdowns,
-    // so overloaded runs can stop at the saturation verdict.
-    parallel_run(rates.size() * 4, threads, [&](size_t i) {
-        const double rate = rates[i / 4];
-        SystemRow &row = rows[i / 4];
-        switch (i % 4) {
+    // so overloaded runs can stop at the saturation verdict. Five slots
+    // per rate; the per-class TQ slot is a no-op unless requested.
+    parallel_run(rates.size() * 5, threads, [&](size_t i) {
+        const double rate = rates[i / 5];
+        SystemRow &row = rows[i / 5];
+        switch (i % 5) {
           case 0: {
             TwoLevelConfig cfg;
             cfg.quantum = us(2);
             cfg.overheads = Overheads::tq_default();
             cfg.duration = sim_duration();
             cfg.stop_when_saturated = true;
+            cfg.arrival = opts.arrival;
             row.tq = run_two_level(cfg, dist, rate);
             break;
           }
           case 1: {
+            if (opts.tq_class_quantum.empty())
+                break;
+            TwoLevelConfig cfg;
+            cfg.quantum = us(2);
+            cfg.overheads = Overheads::tq_default();
+            cfg.duration = sim_duration();
+            cfg.stop_when_saturated = true;
+            cfg.arrival = opts.arrival;
+            cfg.class_quantum = opts.tq_class_quantum;
+            cfg.deficit_clamp = opts.tq_deficit_clamp;
+            cfg.starvation_promote_after =
+                opts.tq_starvation_promote_after;
+            row.tq_pc = run_two_level(cfg, dist, rate);
+            break;
+          }
+          case 2: {
             CentralConfig cfg;
             cfg.quantum = us(shinjuku_quantum_us);
             cfg.overheads = Overheads::shinjuku_default();
             cfg.duration = sim_duration();
             cfg.stop_when_saturated = true;
+            cfg.arrival = opts.arrival;
             row.shinjuku = run_central(cfg, dist, rate);
             break;
           }
-          case 2:
-          case 3: {
+          case 3:
+          case 4: {
             CaladanConfig cfg;
             cfg.duration = sim_duration();
-            cfg.directpath = i % 4 == 3;
+            cfg.directpath = i % 5 == 4;
             cfg.stop_when_saturated = true;
+            cfg.arrival = opts.arrival;
             (cfg.directpath ? row.caladan_dp : row.caladan_io) =
                 run_caladan(cfg, dist, rate);
             break;
@@ -97,16 +141,22 @@ run_systems(const ServiceDist &dist, const std::vector<double> &rates,
     return rows;
 }
 
-/** Print the standard per-class latency table for @p rows. */
+/** Print the standard per-class latency table for @p rows. When the
+ *  per-class TQ variant ran, a TQPC column per class follows the TQ
+ *  one. */
 inline void
 print_system_rows(const std::vector<SystemRow> &rows,
                   const std::vector<double> &rates,
-                  const std::vector<std::string> &classes)
+                  const std::vector<std::string> &classes,
+                  bool with_tq_pc = false)
 {
     std::printf("rate_mrps");
-    for (const auto &c : classes)
-        std::printf("\tTQ_%s\tShinjuku_%s\tCaladan_%s", c.c_str(),
-                    c.c_str(), c.c_str());
+    for (const auto &c : classes) {
+        std::printf("\tTQ_%s", c.c_str());
+        if (with_tq_pc)
+            std::printf("\tTQPC_%s", c.c_str());
+        std::printf("\tShinjuku_%s\tCaladan_%s", c.c_str(), c.c_str());
+    }
     std::printf("\n");
 
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -115,8 +165,10 @@ print_system_rows(const std::vector<SystemRow> &rows,
             auto fmt = [&](const sim::SimResult &r) {
                 return cell_us(r.saturated, r.by_class(c).p999_sojourn);
             };
-            std::printf("\t%s\t%s\t%s", fmt(rows[i].tq).c_str(),
-                        fmt(rows[i].shinjuku).c_str(),
+            std::printf("\t%s", fmt(rows[i].tq).c_str());
+            if (with_tq_pc)
+                std::printf("\t%s", fmt(rows[i].tq_pc).c_str());
+            std::printf("\t%s\t%s", fmt(rows[i].shinjuku).c_str(),
                         fmt(rows[i].caladan()).c_str());
         }
         std::printf("\n");
@@ -130,10 +182,12 @@ inline std::vector<SystemRow>
 compare_systems(const ServiceDist &dist,
                 const std::vector<double> &rates,
                 double shinjuku_quantum_us,
-                const std::vector<std::string> &classes, int threads = 1)
+                const std::vector<std::string> &classes, int threads = 1,
+                const SystemOptions &opts = {})
 {
-    auto rows = run_systems(dist, rates, shinjuku_quantum_us, threads);
-    print_system_rows(rows, rates, classes);
+    auto rows = run_systems(dist, rates, shinjuku_quantum_us, threads, opts);
+    print_system_rows(rows, rates, classes,
+                      !opts.tq_class_quantum.empty());
     return rows;
 }
 

@@ -18,11 +18,10 @@ namespace {
 class ChaseStream
 {
   public:
-    explicit ChaseStream(const ChaseConfig &cfg) : cfg_(cfg)
+    explicit ChaseStream(const ChaseConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
     {
         TQ_CHECK(cfg.array_bytes >= 64);
         const size_t lines = cfg.array_bytes / 64;
-        Rng rng(cfg.seed);
         const int n = cfg.arrays();
         orders_.resize(static_cast<size_t>(n));
         positions_.assign(static_cast<size_t>(n), 0);
@@ -34,7 +33,7 @@ class ChaseStream
             // order per array (paper: "fix a random element iteration
             // order").
             for (size_t i = lines - 1; i > 0; --i) {
-                const size_t j = rng.below(i + 1);
+                const size_t j = rng_.below(i + 1);
                 std::swap(order[i], order[j]);
             }
         }
@@ -54,13 +53,22 @@ class ChaseStream
         size_t &pos = positions_[current_];
         const uint64_t base =
             (static_cast<uint64_t>(current_) + 1) << 24; // 16MB apart
-        const uint64_t addr = base + static_cast<uint64_t>(order[pos]) * 64;
-        pos = (pos + 1) % order.size();
-        return addr;
+        // Skewed mixes draw the visited line per access; the default is
+        // the paper's fixed-iteration-order chase (the ctor's shuffles
+        // are the rng's only draws then, so runs stay byte-identical).
+        uint64_t line;
+        if (cfg_.line_sampler) {
+            line = cfg_.line_sampler(rng_) % order.size();
+        } else {
+            line = order[pos];
+            pos = (pos + 1) % order.size();
+        }
+        return base + line * 64;
     }
 
   private:
     const ChaseConfig &cfg_;
+    Rng rng_;
     std::vector<std::vector<uint32_t>> orders_;
     std::vector<size_t> positions_;
     size_t current_ = 0;

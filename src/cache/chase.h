@@ -17,9 +17,11 @@
 #define TQ_CACHE_CHASE_H
 
 #include <cstdint>
+#include <functional>
 
 #include "cache/cache_sim.h"
 #include "cache/reuse.h"
+#include "common/rng.h"
 #include "common/units.h"
 
 namespace tq::cache {
@@ -42,6 +44,17 @@ struct ChaseConfig
     uint64_t seed = 1;
 
     CacheLatencies latencies;
+
+    /**
+     * Optional skewed-access hook: when set, each access to the current
+     * array visits line `line_sampler(rng) % lines` instead of the
+     * fixed random iteration order — the benches drive this with
+     * workloads::ZipfKeyGen to model hot-line skew (the ROADMAP's
+     * "Zipfian mix" leftover for the fig13-15 cache study). Null (the
+     * default) keeps the paper's pointer chase byte-identical; the
+     * cache layer itself stays independent of workloads/.
+     */
+    std::function<uint64_t(Rng &)> line_sampler;
 
     /** Arrays this core rotates over. */
     int

@@ -5,7 +5,9 @@
  * Pulls in the full public API of the library:
  *
  *  - tq::runtime — the TQ system itself: Runtime (dispatcher + workers),
- *    forced-multitasking workers, JSQ+MSQ dispatch (paper sections 3, 4).
+ *    forced-multitasking workers, JSQ+MSQ dispatch (paper sections 3, 4),
+ *    per-class quanta with deficit accounting and an optional adaptive
+ *    quantum controller (runtime/quantum.h, runtime/quantum_controller.h).
  *  - tq::probe / tq::coro — the forced-multitasking mechanism: probe
  *    runtime (tq_probe, PreemptGuard) and stackful coroutines.
  *  - tq::compiler / tq::progs — the probe-placement compiler pass on the
@@ -73,7 +75,7 @@ namespace tq {
 
 /** Library semantic version. */
 inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionMinor = 1;
 inline constexpr int kVersionPatch = 0;
 
 } // namespace tq

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace tq::runtime {
 
@@ -34,6 +35,59 @@ struct RuntimeConfig
 {
     int num_workers = 2;      ///< worker scheduler threads
     double quantum_us = 2.0;  ///< target quantum (PS/LAS policies)
+
+    /**
+     * Per-class quanta keyed by Request::job_class (DESIGN.md §4i).
+     * Empty — the default — keeps the single fixed quantum and the
+     * exact pre-change hot path: no per-class state exists, no deficit
+     * accounting runs, and figure outputs are byte-identical. When
+     * non-empty, class c is admitted with class_quantum_us[c] (classes
+     * beyond the table, or beyond kMaxQuantumClasses = 8, fall back to
+     * quantum_us / the last slot), the worker resolves the budget with
+     * one table load at admission, and deficit accounting plus the
+     * starvation guard below engage. Ignored under WorkPolicy::Fcfs,
+     * where probes never fire. Mirrors sim TwoLevelConfig::class_quantum.
+     */
+    std::vector<double> class_quantum_us;
+
+    /**
+     * Per-class deficit clamp in microseconds (per-class mode only).
+     * Each class banks `granted - used` cycles after every slice — a
+     * class that completes early banks credit, one whose probes overrun
+     * the deadline pays the overshoot back — and the bank is clamped to
+     * +-deficit_clamp_us so neither windfall compounds. The effective
+     * budget at each grant is quantum + deficit, floored at quantum/4
+     * so a debt-laden class always makes real progress.
+     */
+    double deficit_clamp_us = 8.0;
+
+    /**
+     * Starvation guard (per-class mode only): after a class with
+     * runnable tasks has been passed over this many consecutive grants,
+     * the next grant force-promotes its best task ahead of the policy
+     * order (the LAS heap minimum or the PS front would otherwise keep
+     * winning forever under a flood of fresher work). 0 disables the
+     * guard. Promotions are counted (Worker::starvation_promotions()).
+     */
+    uint32_t starvation_promote_after = 128;
+
+    /**
+     * Adaptive quantum controller (DESIGN.md §4i): when true — and the
+     * build has telemetry — Runtime::adapt_quanta() digests a telemetry
+     * snapshot through runtime/quantum_controller.h and republishes the
+     * per-class quantum table; workers pick the new budgets up at their
+     * next admission. Enables per-class mode even with an empty
+     * class_quantum_us (all classes start at quantum_us). Under
+     * -DTQ_TELEMETRY=OFF the controller is compiled out and the table
+     * statically keeps its configured values (adapt_quanta() == false).
+     */
+    bool adaptive_quantum = false;
+
+    double quantum_slo_slowdown = 5.0; ///< controller target: SLO-class
+                                       ///< p99 sojourn / mean service
+    double quantum_adapt_gain = 0.25;  ///< multiplicative step per tick
+    double quantum_min_us = 0.5;       ///< controller clamp floor
+    double quantum_max_us = 16.0;      ///< controller clamp ceiling
 
     /**
      * Dispatcher shards (DESIGN.md §4g). 1 — the default — is the

@@ -24,7 +24,13 @@ struct Request
     Cycles dispatch_cycles = 0;///< stamped when the dispatcher hands the
                                ///< job to a worker (telemetry builds;
                                ///< 0 otherwise)
-    int job_class = 0;         ///< workload class (short/long, GET/SCAN...)
+    int job_class = 0;         ///< workload class (short/long, GET/SCAN...).
+                               ///< Also the per-class quantum key: when
+                               ///< RuntimeConfig::class_quantum_us is set
+                               ///< the worker resolves this job's slice
+                               ///< budget from it once, at admission
+                               ///< (runtime/quantum.h; classes >= 7
+                               ///< share slot 7)
     uint64_t payload = 0;      ///< class-specific argument (key, ns, ...)
 
     /**

@@ -25,9 +25,41 @@ Runtime::Runtime(RuntimeConfig cfg, Handler handler)
     TQ_CHECK(cfg_.num_dispatchers >= 1 &&
              cfg_.num_dispatchers <= cfg_.num_workers &&
              cfg_.num_dispatchers <= telemetry::kMaxDispatcherShards);
+    // Per-class mode (DESIGN.md §4i): a populated quantum table, or an
+    // adaptive controller that needs one even with an empty config
+    // table. FCFS never arms probes — its workers drop the table and
+    // run the fixed path regardless.
+    const bool per_class = (!cfg_.class_quantum_us.empty() ||
+                            cfg_.adaptive_quantum) &&
+                           cfg_.work != WorkPolicy::Fcfs;
+    if (per_class) {
+        quantum_table_ = std::make_unique<ClassQuantumTable>(
+            ns_to_cycles(cfg_.quantum_us * 1e3));
+        std::vector<double> initial(
+            static_cast<size_t>(kMaxQuantumClasses), cfg_.quantum_us);
+        for (size_t c = 0; c < cfg_.class_quantum_us.size() &&
+                           c < static_cast<size_t>(kMaxQuantumClasses);
+             ++c) {
+            TQ_CHECK(cfg_.class_quantum_us[c] > 0);
+            initial[c] = cfg_.class_quantum_us[c];
+            quantum_table_->store(
+                static_cast<int>(c),
+                ns_to_cycles(cfg_.class_quantum_us[c] * 1e3));
+        }
+        if (cfg_.adaptive_quantum && telemetry::kEnabled) {
+            QuantumControllerConfig qc;
+            qc.target_slowdown = cfg_.quantum_slo_slowdown;
+            qc.gain = cfg_.quantum_adapt_gain;
+            qc.min_quantum_us = cfg_.quantum_min_us;
+            qc.max_quantum_us = cfg_.quantum_max_us;
+            controller_ = std::make_unique<QuantumController>(
+                qc, std::move(initial));
+        }
+    }
     for (int w = 0; w < cfg_.num_workers; ++w)
         workers_.push_back(std::make_unique<Worker>(
-            w, cfg_, handler, &metrics_->worker(w), &lc_));
+            w, cfg_, handler, &metrics_->worker(w), &lc_,
+            quantum_table_.get()));
     for (int d = 0; d < cfg_.num_dispatchers; ++d) {
         shards_.push_back(std::make_unique<DispatcherShard>(cfg_, d));
         DispatcherShard &sh = *shards_.back();
@@ -376,7 +408,52 @@ Runtime::telemetry_snapshot()
     snap.dispatch_ring_full_spins = dispatch_ring_full_spins();
     snap.dropped_responses = dropped_responses();
     snap.abandoned_jobs = abandoned_jobs();
+    for (const auto &w : workers_)
+        snap.starvation_promotions += w->starvation_promotions();
     return snap;
+}
+
+bool
+Runtime::adapt_quanta()
+{
+    if (!controller_ || !quantum_table_)
+        return false; // static fallback: fixed path, adaptation off, or
+                      // a -DTQ_TELEMETRY=OFF build (no controller made)
+    const telemetry::MetricsSnapshot snap = telemetry_snapshot();
+    std::vector<ClassObservation> obs(snap.per_class.size());
+    for (size_t c = 0; c < snap.per_class.size(); ++c) {
+        const telemetry::ClassQuantaStats &pc = snap.per_class[c];
+        obs[c].completed = pc.finished;
+        obs[c].mean_service_us = pc.service.mean_ns / 1e3;
+        obs[c].p99_sojourn_us = pc.sojourn.p99_ns / 1e3;
+    }
+    bool changed;
+    {
+        // Same mutex as the snapshot's wrap-state: controller updates
+        // serialize with each other at snapshot rate.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        changed = controller_->update(obs);
+        if (changed) {
+            const std::vector<double> &q = controller_->quanta_us();
+            for (size_t c = 0;
+                 c < q.size() &&
+                 c < static_cast<size_t>(kMaxQuantumClasses);
+                 ++c)
+                quantum_table_->store(static_cast<int>(c),
+                                      ns_to_cycles(q[c] * 1e3));
+        }
+    }
+    return changed;
+}
+
+double
+Runtime::class_quantum_us(int job_class) const
+{
+    if (!quantum_table_)
+        return cfg_.quantum_us;
+    return cycles_to_ns(quantum_table_->load(
+               ClassQuantumTable::slot_of(job_class))) /
+           1e3;
 }
 
 size_t

@@ -55,6 +55,8 @@
 #include "runtime/config.h"
 #include "runtime/dispatch_view.h"
 #include "runtime/lifecycle.h"
+#include "runtime/quantum.h"
+#include "runtime/quantum_controller.h"
 #include "runtime/shard_front.h"
 #include "runtime/worker.h"
 #include "telemetry/telemetry.h"
@@ -311,6 +313,31 @@ class Runtime
     telemetry::MetricsSnapshot telemetry_snapshot();
 
     /**
+     * One tick of the adaptive quantum controller (DESIGN.md §4i),
+     * piggybacked on the telemetry snapshot path: digest a snapshot's
+     * per-class observations through the blind control law
+     * (runtime/quantum_controller.h) and republish the per-class
+     * quantum table. Workers resolve budgets at admission, so new
+     * quanta reach jobs admitted after this call, never a job
+     * mid-service. Call it at snapshot rate (hertz) — it is a low-rate
+     * loop by design, never on a data path.
+     *
+     * @return true when any class budget changed. Always false — the
+     *     static fallback — when adaptive_quantum is off, the runtime
+     *     is on the fixed-quantum path, or the build is
+     *     -DTQ_TELEMETRY=OFF (no observations exist; the table keeps
+     *     its configured values).
+     */
+    bool adapt_quanta();
+
+    /**
+     * The quantum currently published for @p job_class, in
+     * microseconds: the adapted table value in per-class mode, or
+     * config().quantum_us on the fixed path.
+     */
+    double class_quantum_us(int job_class) const;
+
+    /**
      * Drain every trace ring into @p out, merged and sorted by
      * timestamp (see MetricsRegistry::drain_trace()). Single consumer.
      * @return events appended.
@@ -332,6 +359,15 @@ class Runtime
 
     RuntimeConfig cfg_;
     std::unique_ptr<telemetry::MetricsRegistry> metrics_;
+
+    /** Per-class quantum table (DESIGN.md §4i); null on the fixed path
+     *  (empty class_quantum_us, no adaptation, or FCFS). Declared
+     *  before workers_: the workers capture the raw pointer. */
+    std::unique_ptr<ClassQuantumTable> quantum_table_;
+    /** Adaptive control law; constructed only in telemetry builds with
+     *  adaptive_quantum set. Guarded by stats_mu_ (snapshot-rate). */
+    std::unique_ptr<QuantumController> controller_;
+
     std::vector<std::unique_ptr<Worker>> workers_;
 
     /** The dispatcher tier; exactly one entry when unsharded. */

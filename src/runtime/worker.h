@@ -36,6 +36,7 @@
 #include "coro/coroutine.h"
 #include "runtime/config.h"
 #include "runtime/lifecycle.h"
+#include "runtime/quantum.h"
 #include "runtime/request.h"
 #include "runtime/worker_stats.h"
 #include "telemetry/telemetry.h"
@@ -58,9 +59,15 @@ class Worker
      *     snapshots work in every configuration.
      * @param lc the runtime's shared lifecycle control block; read at
      *     loop boundaries and inside every backpressure loop.
+     * @param quanta the runtime's shared per-class quantum table, or
+     *     nullptr for the fixed-quantum path (empty class_quantum_us and
+     *     no adaptation): with no table the worker carries zero
+     *     per-class state and behaves exactly as before the table
+     *     existed (DESIGN.md §4i, byte-identical fallback).
      */
     Worker(int id, const RuntimeConfig &cfg, Handler handler,
-           telemetry::WorkerTelemetry *telem, const LifecycleControl *lc);
+           telemetry::WorkerTelemetry *telem, const LifecycleControl *lc,
+           const ClassQuantumTable *quanta = nullptr);
 
     /** Dispatcher-side input ring (single producer: the dispatcher). */
     SpscRing<Request> &dispatch_ring() { return dispatch_ring_; }
@@ -122,6 +129,38 @@ class Worker
     /** Worker index within the runtime. */
     int id() const { return id_; }
 
+    /** Grants the starvation guard forced ahead of the policy order
+     *  (0 on the fixed-quantum path or with the guard disabled). */
+    uint64_t
+    starvation_promotions() const
+    {
+        return starvation_promotions_.load(std::memory_order_relaxed);
+    }
+
+    /** One class's scheduling account (per-class mode only). Plain
+     *  fields, written only by the worker thread: read them after the
+     *  thread has been joined (tests, post-drain reports). */
+    struct ClassSched
+    {
+        int64_t deficit = 0;          ///< banked cycles, clamped to
+                                      ///< +-deficit_clamp (DESIGN.md §4i)
+        uint32_t skipped = 0;         ///< consecutive grants that went to
+                                      ///< other classes while runnable
+        uint32_t runnable = 0;        ///< tasks of this class in the runq
+        uint64_t grants = 0;          ///< slices granted
+        uint64_t granted_cycles = 0;  ///< sum of armed budgets (effective-
+                                      ///< quantum parity with the sim)
+    };
+
+    /** Class @p slot's account. Zeros on the fixed-quantum path. Safe
+     *  only from the worker thread or after it has been joined. */
+    const ClassSched &
+    class_sched(int slot) const
+    {
+        return class_sched_[static_cast<size_t>(
+            ClassQuantumTable::slot_of(slot))];
+    }
+
   private:
     /** One task coroutine slot and its current job's bookkeeping. */
     struct Task
@@ -130,6 +169,11 @@ class Worker
         uint64_t result = 0;       ///< handler return value
         uint32_t quanta = 0;       ///< quanta consumed by the current job
         uint64_t admit_seq = 0;    ///< admission order (LAS FIFO ties)
+        Cycles budget_cycles = 0;  ///< quantum resolved at admission (one
+                                   ///< table load; the probe deadline
+                                   ///< compares against this precomputed
+                                   ///< cycle budget, DESIGN.md §4i)
+        uint8_t cls = 0;           ///< quantum-table slot of req.job_class
         Cycles service_cycles = 0; ///< accumulated slice time (telemetry)
         bool started = false;      ///< first slice already ran
         bool has_job = false;      ///< a job is admitted to this slot
@@ -166,6 +210,26 @@ class Worker
     void complete(Task *task);
     bool push_response(const Response &resp);
 
+    /** Pop the next task per policy, or the most-starved class's best
+     *  task when the starvation guard fires (per-class mode only). */
+    Task *select_task();
+
+    /** Extract class @p cls's best task from the run queue: the LAS
+     *  minimum of that class, or the PS front-most. Cold path — only
+     *  reached when the guard fires after starvation_promote_after
+     *  consecutive skipped grants. */
+    Task *extract_promoted(int cls);
+
+    /** Effective budget at grant time: quantum + clamped deficit,
+     *  floored at quantum/4 so a debt-laden class still progresses. */
+    Cycles
+    effective_budget(Cycles base, int64_t deficit) const
+    {
+        const int64_t budget = static_cast<int64_t>(base) + deficit;
+        const int64_t floor = static_cast<int64_t>(base / 4) + 1;
+        return static_cast<Cycles>(budget > floor ? budget : floor);
+    }
+
     /** Admitted-but-unfinished tasks under the active work policy. */
     bool
     ready_empty() const
@@ -180,6 +244,15 @@ class Worker
     telemetry::WorkerTelemetry *telem_;
     const LifecycleControl *lc_;
     Cycles quantum_cycles_;
+
+    /** Per-class scheduling (DESIGN.md §4i). per_class_ is false on the
+     *  fixed path (no table, or FCFS where probes never fire): then no
+     *  member below is ever touched and run_one_slice() arms the same
+     *  quantum_cycles_ budget as before the table existed. */
+    const ClassQuantumTable *quanta_table_;
+    bool per_class_;
+    Cycles deficit_clamp_cycles_ = 0;
+    ClassSched class_sched_[kMaxQuantumClasses] = {};
 
     SpscRing<Request> dispatch_ring_;
     SpscRing<Response> tx_ring_;
@@ -201,6 +274,9 @@ class Worker
     std::atomic<uint64_t> tx_full_spins_{0};
     std::atomic<uint64_t> dropped_responses_{0};
     std::atomic<uint64_t> abandoned_jobs_{0};
+    /** Starvation-guard force-promotions (cold path; always recorded
+     *  so the guard is observable in -DTQ_TELEMETRY=OFF builds too). */
+    std::atomic<uint64_t> starvation_promotions_{0};
 };
 
 } // namespace tq::runtime

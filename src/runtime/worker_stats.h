@@ -36,10 +36,17 @@ struct alignas(kCacheLineSize) WorkerStatsLine
     std::atomic<uint32_t> finished{0};
 
     /** Sum of serviced quanta across the jobs currently admitted to the
-     *  worker (rises on each quantum, falls when a job completes). */
+     *  worker (rises on each quantum, falls when a job completes).
+     *  Counts *grants*, not cycles: under per-class quanta
+     *  (runtime/quantum.h) a grant may be any class's budget, so MSQ
+     *  tie-breaking keeps ranking by slices attained — exactly the
+     *  blind signal the paper uses — without the dispatcher knowing
+     *  per-class budgets. */
     std::atomic<uint32_t> current_quanta{0};
 
-    /** Total quanta serviced (monotonic modulo wrap; stats/tests). */
+    /** Total quanta serviced (monotonic modulo wrap; stats/tests).
+     *  Like current_quanta this counts grants, whatever each grant's
+     *  per-class cycle budget was. */
     std::atomic<uint32_t> total_quanta{0};
 
     char pad[kCacheLineSize - 3 * sizeof(std::atomic<uint32_t>)];

@@ -32,6 +32,7 @@ class CaladanSim
           cores_(static_cast<size_t>(cfg.num_cores))
     {
         TQ_CHECK(cfg.num_cores > 0);
+        core_.set_arrival(cfg.arrival);
     }
 
     SimResult

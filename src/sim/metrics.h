@@ -48,6 +48,18 @@ struct SimResult
     /** Mean interval between quantum grants on busy cores (Figure 16). */
     SimNanos avg_effective_quantum = 0;
 
+    /**
+     * Per-class mean grant interval, indexed like `classes` (empty when
+     * the run tracked no classes). With per-class quanta this exposes
+     * the effective quantum each class actually attained — the quantity
+     * the runtime-vs-sim parity test compares (DESIGN.md §4i).
+     */
+    std::vector<SimNanos> class_effective_quantum;
+
+    /** Times the starvation guard force-promoted a passed-over class
+     *  (0 unless TwoLevelConfig::starvation_promote_after is set). */
+    uint64_t starvation_promotions = 0;
+
     /** Stats for the class named @p name (fatal if absent). */
     const ClassStats &by_class(const std::string &name) const;
 };

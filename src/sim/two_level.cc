@@ -1,5 +1,6 @@
 #include "sim/two_level.h"
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -29,6 +30,14 @@ struct Core
     // Figure-16 style effective-quantum accounting.
     double grant_intervals = 0;
     uint64_t grants = 0;
+    SimNanos granted = 0;        ///< budget granted to `running` (the
+                                 ///< deficit charges granted - used)
+    // Per-class scheduler mirror (DESIGN.md §4i), sized only when the
+    // deficit/starvation knobs are active — empty otherwise so the
+    // default path touches none of it.
+    std::vector<SimNanos> deficit;  ///< banked credit, ±deficit_clamp
+    std::vector<uint64_t> skipped;  ///< consecutive grants passed over
+    std::vector<uint32_t> runnable; ///< admitted units per class
 };
 
 struct Dispatcher
@@ -67,6 +76,22 @@ class TwoLevelSim
         if (!cfg_.class_quantum.empty())
             TQ_CHECK(cfg_.class_quantum.size() ==
                      dist.class_names().size());
+        num_classes_ = dist.class_names().size();
+        class_grant_intervals_.resize(num_classes_, 0);
+        class_grants_.resize(num_classes_, 0);
+        // The deficit/starvation mirror needs a per-class quantum table
+        // to mirror, exactly like the runtime (a fixed-quantum worker
+        // has no per-class state), and FCFS cores never slice.
+        per_class_sched_ = !cfg_.class_quantum.empty() &&
+                           cfg_.core_policy != CorePolicy::Fcfs &&
+                           (cfg_.deficit_clamp > 0 ||
+                            cfg_.starvation_promote_after > 0);
+        if (per_class_sched_)
+            for (auto &core : cores_) {
+                core.deficit.resize(num_classes_, 0);
+                core.skipped.resize(num_classes_, 0);
+                core.runnable.resize(num_classes_, 0);
+            }
     }
 
     SimResult
@@ -100,6 +125,13 @@ class TwoLevelSim
         }
         result.avg_effective_quantum =
             grants ? intervals / static_cast<double>(grants) : 0;
+        result.class_effective_quantum.resize(num_classes_, 0);
+        for (size_t c = 0; c < num_classes_; ++c)
+            if (class_grants_[c])
+                result.class_effective_quantum[c] =
+                    class_grant_intervals_[c] /
+                    static_cast<double>(class_grants_[c]);
+        result.starvation_promotions = starvation_promotions_;
         return result;
     }
 
@@ -266,6 +298,8 @@ class TwoLevelSim
         ++core.jobs;
         ++assigned_[static_cast<size_t>(target)];
         core.quanta_sum += quanta_of(unit); // 0 for fresh units
+        if (per_class_sched_)
+            ++core.runnable[class_of(unit)];
         if (core.running == kNone)
             start_slice(target);
 
@@ -387,6 +421,55 @@ class TwoLevelSim
         return cfg_.quantum;
     }
 
+    size_t
+    class_of(uint32_t unit)
+    {
+        return static_cast<size_t>(job(idx_of(unit)).job_class);
+    }
+
+    /**
+     * Starvation guard (mirror of Worker::select_task): pick the most-
+     * starved runnable class at or past the promotion threshold and
+     * extract its least-attained unit (PS: first of class, matching the
+     * runtime's front-of-deque scan). Returns false when no class
+     * qualifies and the normal PS/LAS pick should run.
+     */
+    bool
+    promote_starved(Core &core)
+    {
+        if (cfg_.starvation_promote_after == 0)
+            return false;
+        size_t cls = num_classes_;
+        uint64_t worst = cfg_.starvation_promote_after - 1;
+        for (size_t k = 0; k < num_classes_; ++k)
+            if (core.runnable[k] != 0 && core.skipped[k] > worst) {
+                worst = core.skipped[k];
+                cls = k;
+            }
+        if (cls == num_classes_)
+            return false;
+        size_t best = core.runq.size();
+        double best_attained = 0;
+        for (size_t i = 0; i < core.runq.size(); ++i) {
+            if (class_of(core.runq[i]) != cls)
+                continue;
+            if (cfg_.core_policy != CorePolicy::Las) {
+                best = i; // PS: first admitted unit of the class
+                break;
+            }
+            const double a = attained(core.runq[i]);
+            if (best == core.runq.size() || a < best_attained) {
+                best_attained = a;
+                best = i;
+            }
+        }
+        TQ_CHECK(best < core.runq.size()); // runnable[cls] != 0
+        core.running = core.runq[best];
+        core.runq.erase(core.runq.begin() + static_cast<ptrdiff_t>(best));
+        ++starvation_promotions_;
+        return true;
+    }
+
     void
     start_slice(int c)
     {
@@ -394,7 +477,9 @@ class TwoLevelSim
         TQ_CHECK(core.running == kNone);
         if (core.runq.empty())
             return;
-        if (cfg_.core_policy == CorePolicy::Las) {
+        if (per_class_sched_ && promote_starved(core)) {
+            // fall through to the budget computation with `running` set
+        } else if (cfg_.core_policy == CorePolicy::Las) {
             // Least-attained-service first: serve the job that has
             // received the least service so far (FIFO among equals).
             size_t best = 0;
@@ -415,17 +500,41 @@ class TwoLevelSim
         }
         const Job &j = job(idx_of(core.running));
         const SimNanos remaining = remaining_of(core.running);
-        const SimNanos slice =
-            cfg_.core_policy == CorePolicy::Fcfs
-                ? remaining
-                : std::min(quantum_for(j), remaining);
+        SimNanos budget = quantum_for(j);
+        if (per_class_sched_ && cfg_.deficit_clamp > 0) {
+            // Effective budget = base + banked deficit, floored at a
+            // quarter-quantum so a deeply indebted class still makes
+            // progress (Worker::effective_budget).
+            const size_t cls = class_of(core.running);
+            budget = std::max(budget / 4, budget + core.deficit[cls]);
+        }
+        const SimNanos slice = cfg_.core_policy == CorePolicy::Fcfs
+                                   ? remaining
+                                   : std::min(budget, remaining);
         TQ_DCHECK(slice > 0);
         core.slice = slice;
+        core.granted = budget;
         const SimNanos busy = slice + cfg_.overheads.switch_overhead;
         // Effective-quantum metric (Figure 16): spacing between grants
         // net of the constant per-slice mechanism overhead.
         core.grant_intervals += slice;
         ++core.grants;
+        if (num_classes_ != 0) {
+            const size_t cls = class_of(core.running);
+            class_grant_intervals_[cls] += slice;
+            ++class_grants_[cls];
+        }
+        if (per_class_sched_) {
+            // One grant elapsed: the granted class's starvation clock
+            // resets, every other runnable class ages one step.
+            const size_t cls = class_of(core.running);
+            for (size_t k = 0; k < num_classes_; ++k) {
+                if (k == cls)
+                    core.skipped[k] = 0;
+                else if (core.runnable[k] != 0)
+                    ++core.skipped[k];
+            }
+        }
         core_.schedule(core_.now() + busy, kCoreDone, c);
     }
 
@@ -438,6 +547,15 @@ class TwoLevelSim
         double &remaining = remaining_of(unit);
         remaining -= core.slice;
 
+        if (per_class_sched_ && cfg_.deficit_clamp > 0) {
+            // Granted minus used, clamped: early completers bank credit
+            // toward their class's next grant (Worker::run_one_slice).
+            const size_t cls = class_of(unit);
+            core.deficit[cls] = std::clamp(
+                core.deficit[cls] + core.granted - core.slice,
+                -cfg_.deficit_clamp, cfg_.deficit_clamp);
+        }
+
         if (remaining <= 1e-9) {
             // Unit done: at fanout 1 the response leaves directly from
             // the worker; a fanned-out request completes only when its
@@ -445,6 +563,8 @@ class TwoLevelSim
             --core.jobs;
             ++core.finished;
             core.quanta_sum -= quanta_of(unit);
+            if (per_class_sched_)
+                --core.runnable[class_of(unit)];
             if (fanout_ == 1) {
                 core_.complete(unit, core_.now() +
                                          cfg_.overheads.response_cost);
@@ -488,6 +608,13 @@ class TwoLevelSim
     std::vector<uint64_t> snap_quanta_;
     SimNanos last_refresh_ = -1;
     std::vector<int> ties_;
+
+    // Per-class scheduler mirror (DESIGN.md §4i).
+    size_t num_classes_ = 0;
+    bool per_class_sched_ = false;
+    std::vector<double> class_grant_intervals_;
+    std::vector<uint64_t> class_grants_;
+    uint64_t starvation_promotions_ = 0;
 };
 
 } // namespace

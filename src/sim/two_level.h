@@ -73,9 +73,32 @@ struct TwoLevelConfig
     /**
      * Per-class quantum override (TQ-TIMING variant): when non-empty,
      * class c is scheduled with class_quantum[c] instead of `quantum`,
-     * emulating inaccurate preemption timing.
+     * emulating inaccurate preemption timing — and, with the knobs
+     * below, mirroring the runtime's per-class scheduler
+     * (runtime/quantum.h, DESIGN.md §4i).
      */
     std::vector<SimNanos> class_quantum;
+
+    /**
+     * Deficit accounting mirror of the runtime worker (DESIGN.md §4i):
+     * when > 0 (and class_quantum is set, and cores are not FCFS) each
+     * core keeps a per-class deficit — granted minus used per slice,
+     * clamped to ±deficit_clamp ns — and grants class c an effective
+     * budget of max(base/4, base + deficit[c]). In the simulator slices
+     * never overrun (there is no probe latency), so the deficit only
+     * banks early-completion credit; it still exercises the same
+     * clamp/floor arithmetic the runtime uses. 0 (the default) keeps
+     * the TQ-TIMING model byte-identical to the historical simulator.
+     */
+    SimNanos deficit_clamp = 0;
+
+    /**
+     * Starvation guard mirror (runtime knob of the same name): after a
+     * runnable class has been passed over for this many consecutive
+     * grants on a core, its least-attained unit is force-promoted ahead
+     * of the normal PS/LAS pick. 0 (default) disables the guard.
+     */
+    uint64_t starvation_promote_after = 0;
 
     /**
      * Fractional slowdown of job execution due to probing (TQ-IC

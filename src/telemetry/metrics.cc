@@ -156,6 +156,43 @@ MetricsRegistry::snapshot() const
         service.push_back(&w->service_cycles);
         preempt.push_back(&w->preempt_cycles);
     }
+    // Per-class quantum instruments (§4i): fold worker-wise, then trim
+    // to the highest class that saw a grant so the fixed-quantum path
+    // (nothing recorded) yields an empty vector.
+    {
+        std::vector<ClassQuantaStats> classes(
+            static_cast<size_t>(kMaxTrackedClasses));
+        std::vector<uint64_t> granted(
+            static_cast<size_t>(kMaxTrackedClasses), 0);
+        size_t highest = 0;
+        for (int c = 0; c < kMaxTrackedClasses; ++c) {
+            ClassQuantaStats &cs = classes[static_cast<size_t>(c)];
+            std::vector<const CycleHistogram *> service_h, sojourn_h;
+            for (const auto &w : workers_) {
+                cs.grants +=
+                    w->class_grants[c].load(std::memory_order_relaxed);
+                granted[static_cast<size_t>(c)] +=
+                    w->class_granted_cycles[c].load(
+                        std::memory_order_relaxed);
+                cs.finished +=
+                    w->class_finished[c].load(std::memory_order_relaxed);
+                cs.deficit_cycles +=
+                    w->class_deficit[c].load(std::memory_order_relaxed);
+                service_h.push_back(&w->class_service[c]);
+                sojourn_h.push_back(&w->class_sojourn[c]);
+            }
+            if (cs.grants > 0) {
+                cs.mean_granted_us =
+                    cycles_to_ns(granted[static_cast<size_t>(c)]) /
+                    static_cast<double>(cs.grants) / 1e3;
+                cs.service = summarize_merged(service_h);
+                cs.sojourn = summarize_merged(sojourn_h);
+                highest = static_cast<size_t>(c) + 1;
+            }
+        }
+        classes.resize(highest);
+        s.per_class = std::move(classes);
+    }
     s.dispatch = summarize_merged(dispatch_hists);
     s.sojourn = summarize(client_.sojourn_cycles);
     s.fanout_spread = summarize(client_.fanout_spread_cycles);
@@ -259,6 +296,29 @@ MetricsSnapshot::to_string() const
     row("sojourn", sojourn);
     if (fanout_spread.count > 0)
         row("fanout-spread", fanout_spread);
+    if (!per_class.empty()) {
+        // Only rendered when the per-class scheduler recorded grants,
+        // so the default snapshot output stays byte-stable.
+        std::snprintf(buf, sizeof(buf),
+                      "starvation promotions: %llu\n"
+                      "class\tgrants\tfinished\tgranted_us\tdeficit_cyc\t"
+                      "service_us\tsojourn_p99_us\n",
+                      static_cast<unsigned long long>(
+                          starvation_promotions));
+        out += buf;
+        for (size_t c = 0; c < per_class.size(); ++c) {
+            const ClassQuantaStats &cs = per_class[c];
+            std::snprintf(buf, sizeof(buf),
+                          "%zu\t%llu\t%llu\t%.3f\t%lld\t%.3f\t%.3f\n", c,
+                          static_cast<unsigned long long>(cs.grants),
+                          static_cast<unsigned long long>(cs.finished),
+                          cs.mean_granted_us,
+                          static_cast<long long>(cs.deficit_cycles),
+                          cs.service.mean_ns / 1e3,
+                          cs.sojourn.p99_ns / 1e3);
+            out += buf;
+        }
+    }
     return out;
 }
 

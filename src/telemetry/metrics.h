@@ -32,6 +32,11 @@
 
 namespace tq::telemetry {
 
+/** Per-class instrument slots. Must match the runtime's quantum-table
+ *  bound (runtime/quantum.h kMaxQuantumClasses; asserted in worker.cc):
+ *  job classes at or beyond the limit share the last slot. */
+inline constexpr int kMaxTrackedClasses = 8;
+
 /**
  * Lock-free log2-bucketed histogram of cycle counts.
  *
@@ -135,6 +140,24 @@ class WorkerTelemetry
     CycleHistogram service_cycles;///< per-job sum of slice durations
     CycleHistogram preempt_cycles;///< per-preemption overshoot past the
                                   ///< armed deadline (incl. switch-out)
+
+    // Per-class quantum/deficit instruments (DESIGN.md §4i). Recorded
+    // only while the per-class scheduler is active (non-empty
+    // class_quantum_us or adaptive_quantum); all-zero otherwise, so the
+    // snapshot's per_class block stays empty on the fixed-quantum path.
+    // Same single-writer layout as everything above: only the owning
+    // worker stores, snapshot readers only load.
+    std::atomic<uint64_t> class_grants[kMaxTrackedClasses] = {};
+    /** Sum of armed cycle budgets per class: mean granted budget =
+     *  granted_cycles / grants, the runtime-side effective quantum the
+     *  sim-parity test compares orderings against. */
+    std::atomic<uint64_t> class_granted_cycles[kMaxTrackedClasses] = {};
+    std::atomic<uint64_t> class_finished[kMaxTrackedClasses] = {};
+    /** Last settled deficit per class (gauge, signed cycles). */
+    std::atomic<int64_t> class_deficit[kMaxTrackedClasses] = {};
+    CycleHistogram class_service[kMaxTrackedClasses]; ///< per-job attained
+    CycleHistogram class_sojourn[kMaxTrackedClasses]; ///< arrival -> done
+
     TraceRing trace;              ///< typed event ring (producer: worker)
 };
 
@@ -209,6 +232,18 @@ struct StageStats
     LogHistogram hist{1, CycleHistogram::kBuckets};
 };
 
+/** One job class's folded per-class quantum instruments (§4i). */
+struct ClassQuantaStats
+{
+    uint64_t grants = 0;        ///< slices granted to the class
+    uint64_t finished = 0;      ///< jobs of the class completed
+    double mean_granted_us = 0; ///< mean armed budget per grant (the
+                                ///< runtime-side effective quantum)
+    int64_t deficit_cycles = 0; ///< summed last-value deficit gauges
+    StageStats service;         ///< per-job attained service
+    StageStats sojourn;         ///< arrival -> completion
+};
+
 /** Point-in-time copy of every registry metric (values in ns). */
 struct MetricsSnapshot
 {
@@ -261,6 +296,17 @@ struct MetricsSnapshot
     /** Shard completion spread per gathered fan-out request (empty for
      *  single-shard traffic). */
     StageStats fanout_spread;
+
+    /** Per-class quantum instruments, trimmed to the highest class with
+     *  any grants — empty on the fixed-quantum path, so consumers of
+     *  the default snapshot see no new fields light up. Classes index
+     *  by quantum-table slot (kMaxTrackedClasses bound). */
+    std::vector<ClassQuantaStats> per_class;
+
+    /** Starvation-guard force-promotions across all workers (filled by
+     *  Runtime::telemetry_snapshot(); records in every build — the
+     *  guard is scheduler state, not telemetry). */
+    uint64_t starvation_promotions = 0;
 
     uint64_t burst_phases = 0;      ///< arrival-process phases begun
     double mean_burst_inflight = 0; ///< mean in-flight at phase starts

@@ -405,5 +405,88 @@ TEST(Integration, CentralizedAndTwoLevelAgreeOnResults)
     }
 }
 
+TEST(Integration, PerClassEffectiveQuantumOrderingMatchesSim)
+{
+    // The sim mirrors the runtime's per-class quanta (DESIGN.md §4i):
+    // with {2us, 0.5us} budgets on a bimodal mix, both must record a
+    // larger mean granted slice for class 0 than class 1. The runtime
+    // measures armed budgets in cycles and the sim measures granted
+    // slices in simulated ns, so the parity claim is the *ordering*
+    // (and both being in their configured ballpark), not the values.
+    // Longs kept short-ish: at a 0.5us quantum each long is ~80 slices,
+    // and sanitizer builds inflate per-slice switch cost ~100x.
+    constexpr double kShortUs = 1.0, kLongUs = 40.0;
+
+    double sim_eff0 = 0, sim_eff1 = 0;
+    {
+        MixtureDist dist({{"Short", us(kShortUs), 0.9},
+                          {"Long", us(kLongUs), 0.1}});
+        sim::TwoLevelConfig cfg;
+        cfg.duration = ms(30);
+        cfg.seed = 42;
+        cfg.class_quantum = {us(2), us(0.5)};
+        cfg.deficit_clamp = us(8);
+        cfg.starvation_promote_after = 128;
+        const sim::SimResult r = sim::run_two_level(cfg, dist, mrps(0.5));
+        ASSERT_FALSE(r.saturated);
+        ASSERT_EQ(r.class_effective_quantum.size(), 2u);
+        sim_eff0 = r.class_effective_quantum[0];
+        sim_eff1 = r.class_effective_quantum[1];
+    }
+
+    double rt_eff0 = 0, rt_eff1 = 0;
+    {
+        RuntimeConfig cfg;
+        cfg.num_workers = 2;
+        cfg.class_quantum_us = {2.0, 0.5};
+        Runtime rt(cfg, [](const Request &req) {
+            workloads::spin_for(static_cast<double>(req.payload));
+            return req.id;
+        });
+        rt.start();
+        std::vector<Request> reqs;
+        for (uint64_t i = 0; i < 60; ++i) {
+            Request r;
+            r.id = i;
+            r.gen_cycles = rdcycles();
+            r.job_class = i % 10 == 0 ? 1 : 0;
+            r.payload = static_cast<uint64_t>(
+                (r.job_class == 1 ? kLongUs : kShortUs) * 1000.0);
+            reqs.push_back(r);
+        }
+        const auto responses = run_requests(rt, reqs);
+        rt.stop();
+        ASSERT_EQ(responses.size(), reqs.size());
+        uint64_t cycles0 = 0, grants0 = 0, cycles1 = 0, grants1 = 0;
+        for (int w = 0; w < cfg.num_workers; ++w) {
+            const auto &c0 = rt.worker(w).class_sched(0);
+            const auto &c1 = rt.worker(w).class_sched(1);
+            cycles0 += c0.granted_cycles;
+            grants0 += c0.grants;
+            cycles1 += c1.granted_cycles;
+            grants1 += c1.grants;
+        }
+        ASSERT_GT(grants0, 0u);
+        ASSERT_GT(grants1, 0u);
+        rt_eff0 = cycles_to_ns(cycles0 / grants0);
+        rt_eff1 = cycles_to_ns(cycles1 / grants1);
+    }
+
+    // Same ordering on both sides of the mirror.
+    EXPECT_GT(sim_eff0, sim_eff1);
+    EXPECT_GT(rt_eff0, rt_eff1);
+    // Both sides grant class 1 no more than its 0.5us base budget
+    // (longs never bank credit) and class 0 at least ~its service
+    // demand per grant.
+    EXPECT_LE(sim_eff1, us(0.5) * 1.01);
+    EXPECT_LE(rt_eff1, us(0.5) * 1.01 + 100.0);
+    EXPECT_GE(sim_eff0, us(kShortUs) * 0.9);
+    // The runtime's class-0 floor is base/4 + 1 (DESIGN.md §4i): under
+    // sanitizers the inflated per-slice switch cost drives even the
+    // shorts into max debt, so only the floor — not the 2us base — is
+    // a robust lower bound.
+    EXPECT_GE(rt_eff0, us(2.0) / 4);
+}
+
 } // namespace
 } // namespace tq

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "net/loadgen.h"
 #include "net/runtime_server.h"
 #include "runtime/runtime.h"
+#include "telemetry/telemetry.h"
 #include "workloads/spin.h"
 
 namespace tq::runtime {
@@ -795,6 +797,248 @@ TEST(Sharded, SingleShardAcceptsShardZeroAffinity)
     EXPECT_EQ(responses.size(), 16u);
     EXPECT_EQ(rt.dispatched(0), 16u);
     rt.stop();
+}
+
+TEST(PerClassQuanta, BudgetsResolvedAtAdmissionFollowTheTable)
+{
+    // {4us, 1us} per-class quanta on one worker: both classes complete,
+    // and the post-join scheduling accounts show class 0's mean armed
+    // budget above class 1's (granted_cycles counts armed budgets, so
+    // the ordering survives deficit adjustment: class 0 jobs finish
+    // inside their budget and bank credit, class 1 jobs run into debt).
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.class_quantum_us = {4.0, 1.0};
+    Runtime rt(cfg, spin_handler());
+    EXPECT_NEAR(rt.class_quantum_us(0), 4.0, 0.01);
+    EXPECT_NEAR(rt.class_quantum_us(1), 1.0, 0.01);
+    // Classes beyond the table keep the scalar default (slot clamp).
+    EXPECT_NEAR(rt.class_quantum_us(5), cfg.quantum_us, 0.01);
+    rt.start();
+
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 60; ++i)
+        reqs.push_back(make_spin_request(i, 30e3, i % 2 == 0 ? 0 : 1));
+    const auto responses = run_requests(rt, reqs);
+    rt.stop();
+    ASSERT_EQ(responses.size(), reqs.size());
+
+    const Worker &w = rt.worker(0);
+    const auto &c0 = w.class_sched(0);
+    const auto &c1 = w.class_sched(1);
+    ASSERT_GT(c0.grants, 0u);
+    ASSERT_GT(c1.grants, 0u);
+    const double eff0 = static_cast<double>(c0.granted_cycles) /
+                        static_cast<double>(c0.grants);
+    const double eff1 = static_cast<double>(c1.granted_cycles) /
+                        static_cast<double>(c1.grants);
+    EXPECT_GT(eff0, eff1) << "eff0=" << eff0 << " eff1=" << eff1;
+    EXPECT_EQ(c0.runnable, 0u) << "all admitted jobs completed";
+    EXPECT_EQ(c1.runnable, 0u);
+}
+
+TEST(PerClassQuanta, NeverArrivingClassIsInertNoPromotionsNoGrants)
+{
+    // Three classes configured, only class 0 ever arrives. The
+    // starvation guard keys on runnable counts, so a class that never
+    // shows up can neither starve nor be promoted, and its account
+    // stays zero.
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.class_quantum_us = {2.0, 2.0, 2.0};
+    cfg.starvation_promote_after = 4; // aggressive: still must not fire
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 80; ++i)
+        reqs.push_back(make_spin_request(i, 10e3, 0));
+    const auto responses = run_requests(rt, reqs);
+    rt.stop();
+    ASSERT_EQ(responses.size(), reqs.size());
+
+    const Worker &w = rt.worker(0);
+    EXPECT_EQ(w.starvation_promotions(), 0u);
+    for (int slot = 1; slot < kMaxQuantumClasses; ++slot) {
+        EXPECT_EQ(w.class_sched(slot).grants, 0u) << "slot " << slot;
+        EXPECT_EQ(w.class_sched(slot).runnable, 0u) << "slot " << slot;
+        EXPECT_EQ(w.class_sched(slot).deficit, 0) << "slot " << slot;
+    }
+    EXPECT_GT(w.class_sched(0).grants, 0u);
+}
+
+TEST(PerClassQuanta, SingleClassDegeneratesToPlainScheduling)
+{
+    // One configured class is the degenerate case: no other class can
+    // be skipped, so the guard never fires, and everything completes
+    // exactly as on the fixed path.
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.class_quantum_us = {2.0};
+    cfg.starvation_promote_after = 2;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 120; ++i)
+        reqs.push_back(make_spin_request(i, 5e3 + (i % 4) * 5e3, 0));
+    const auto responses = run_requests(rt, reqs);
+    rt.stop();
+    ASSERT_EQ(responses.size(), reqs.size());
+    EXPECT_EQ(rt.dispatched(), reqs.size());
+    for (int wi = 0; wi < cfg.num_workers; ++wi)
+        EXPECT_EQ(rt.worker(wi).starvation_promotions(), 0u);
+}
+
+TEST(PerClassQuanta, DeficitStaysWithinConfiguredClamp)
+{
+    // DESIGN.md §4i invariant: |deficit| <= deficit_clamp at every
+    // settlement. Mix early-completing shorts (credit) with
+    // quantum-overrunning longs (debt) and check the post-join
+    // accounts of every slot on every worker.
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.class_quantum_us = {4.0, 0.5};
+    cfg.deficit_clamp_us = 3.0;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+
+    std::vector<Request> reqs;
+    // Kept small: every 0.5us slice of a class-1 job pays the full
+    // switch overhead, which sanitizer builds inflate ~100x.
+    for (uint64_t i = 0; i < 60; ++i)
+        reqs.push_back(make_spin_request(i, 1e3, 0)); // 1us < 4us budget
+    for (uint64_t i = 60; i < 64; ++i)
+        reqs.push_back(make_spin_request(i, 60e3, 1)); // 120 x 0.5us
+    const auto responses = run_requests(rt, reqs);
+    rt.stop();
+    ASSERT_EQ(responses.size(), reqs.size());
+
+    const int64_t clamp =
+        static_cast<int64_t>(ns_to_cycles(cfg.deficit_clamp_us * 1e3));
+    for (int wi = 0; wi < cfg.num_workers; ++wi) {
+        for (int slot = 0; slot < kMaxQuantumClasses; ++slot) {
+            const int64_t d = rt.worker(wi).class_sched(slot).deficit;
+            EXPECT_LE(d, clamp) << "worker " << wi << " slot " << slot;
+            EXPECT_GE(d, -clamp) << "worker " << wi << " slot " << slot;
+        }
+    }
+}
+
+TEST(PerClassQuanta, AdaptQuantaIsInertOnDisabledPaths)
+{
+    // Fixed path: no table, no controller — adapt_quanta() must be a
+    // no-op and every class reads the scalar quantum.
+    {
+        RuntimeConfig cfg;
+        cfg.num_workers = 1;
+        Runtime rt(cfg, spin_handler());
+        EXPECT_FALSE(rt.adapt_quanta());
+        EXPECT_DOUBLE_EQ(rt.class_quantum_us(0), cfg.quantum_us);
+        EXPECT_DOUBLE_EQ(rt.class_quantum_us(3), cfg.quantum_us);
+    }
+    // Static per-class table without adaptive_quantum: the table is
+    // live but there is no controller, so adapt_quanta() never
+    // republishes.
+    {
+        RuntimeConfig cfg;
+        cfg.num_workers = 1;
+        cfg.class_quantum_us = {3.0, 1.0};
+        Runtime rt(cfg, spin_handler());
+        EXPECT_FALSE(rt.adapt_quanta());
+        EXPECT_NEAR(rt.class_quantum_us(0), 3.0, 0.01);
+        EXPECT_NEAR(rt.class_quantum_us(1), 1.0, 0.01);
+    }
+    // adaptive_quantum in a -DTQ_TELEMETRY=OFF build: there are no
+    // per-class observations, so the controller is compiled out and
+    // the table keeps its configured values (static fallback).
+    if (!telemetry::kEnabled) {
+        RuntimeConfig cfg;
+        cfg.num_workers = 1;
+        cfg.adaptive_quantum = true;
+        cfg.class_quantum_us = {3.0, 1.0};
+        Runtime rt(cfg, spin_handler());
+        EXPECT_FALSE(rt.adapt_quanta());
+        EXPECT_NEAR(rt.class_quantum_us(0), 3.0, 0.01);
+        EXPECT_NEAR(rt.class_quantum_us(1), 1.0, 0.01);
+    }
+}
+
+TEST(PerClassQuanta, FcfsDropsTheTableEntirely)
+{
+    // FCFS never arms probes, so per-class budgets are meaningless:
+    // the runtime must fall back to the fixed path even with a
+    // populated class_quantum_us.
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.work = WorkPolicy::Fcfs;
+    cfg.class_quantum_us = {4.0, 1.0};
+    Runtime rt(cfg, spin_handler());
+    EXPECT_DOUBLE_EQ(rt.class_quantum_us(0), cfg.quantum_us);
+    EXPECT_FALSE(rt.adapt_quanta());
+    rt.start();
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 40; ++i)
+        reqs.push_back(make_spin_request(i, 5e3, i % 2 == 0 ? 0 : 1));
+    const auto responses = run_requests(rt, reqs);
+    rt.stop();
+    ASSERT_EQ(responses.size(), reqs.size());
+    EXPECT_EQ(rt.worker(0).class_sched(0).grants, 0u)
+        << "fixed path: no per-class accounting";
+    EXPECT_EQ(rt.worker(0).starvation_promotions(), 0u);
+}
+
+TEST(PerClassQuanta, StarvationGuardForcesPromotionUnderLasFlood)
+{
+    // LAS always favors least-attained work, so a long job that has
+    // already attained service starves behind a continuous flood of
+    // fresh shorts. The guard must force-promote it after
+    // starvation_promote_after consecutive foreign grants — that is
+    // the bounded-starvation contract (DESIGN.md §4i).
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.work = WorkPolicy::Las;
+    cfg.quantum_us = 2.0;
+    cfg.class_quantum_us = {2.0, 2.0};
+    cfg.starvation_promote_after = 8;
+    Runtime rt(cfg, spin_handler());
+    rt.start();
+
+    // Let the long job attain a few quanta alone first.
+    const auto first =
+        run_requests(rt, {make_spin_request(999, 5e6, /*job_class=*/1)},
+                     /*timeout_sec=*/0.0);
+    ASSERT_TRUE(first.empty()) << "long job should still be running";
+    // Let it attain well over 25 quanta (a short's lifetime worth) so
+    // LAS ranks it strictly behind every in-progress short. Poll the
+    // atomic grant counter instead of sleeping a fixed interval: a
+    // fixed sleep can overshoot the long's entire 5ms on a loaded
+    // host, leaving the flood nothing to starve. 250 grants of 2us
+    // leaves ~4.5ms of long work as margin.
+    const Cycles poll_deadline = rdcycles() + ns_to_cycles(10e9);
+    while (rt.worker(0).stats_line().total_quanta.load(
+               std::memory_order_relaxed) < 250u &&
+           rdcycles() < poll_deadline)
+        std::this_thread::yield();
+    std::vector<Request> shorts;
+    for (uint64_t i = 0; i < 150; ++i)
+        shorts.push_back(make_spin_request(i, 50e3, 0));
+    // Drain shorts AND the long job (promotion grants keep it moving;
+    // it may even finish amid the flood) before joining the worker.
+    std::vector<Response> responses = run_requests(rt, shorts, 120.0);
+    const Cycles deadline = rdcycles() + ns_to_cycles(120e9);
+    while (responses.size() < shorts.size() + 1 && rdcycles() < deadline) {
+        rt.drain_responses(responses);
+        std::this_thread::yield();
+    }
+    rt.stop();
+    ASSERT_EQ(responses.size(), shorts.size() + 1);
+    EXPECT_TRUE(std::any_of(responses.begin(), responses.end(),
+                            [](const Response &r) { return r.id == 999; }));
+    EXPECT_GT(rt.worker(0).starvation_promotions(), 0u)
+        << "guard never fired despite a " << shorts.size()
+        << "-job flood against promote_after="
+        << cfg.starvation_promote_after;
 }
 
 TEST(LoadGen, OpenLoopRoundTripsAgainstRuntime)

@@ -199,6 +199,76 @@ TEST(TwoLevel, PerClassQuantumOverrideApplies)
     EXPECT_GT(r.by_class("GET").completed, 0u);
 }
 
+TEST(TwoLevel, DeficitCreditLengthensSlicesWithinAClass)
+{
+    // Exponential service at a 0.5us class quantum: jobs that finish
+    // inside the budget bank granted-minus-used credit, which later
+    // (longer) jobs of the same class spend as bigger slices. The mean
+    // granted slice — class_effective_quantum — must therefore grow
+    // when the deficit mirror is armed, without changing completions.
+    auto dist = workload_table::exp1();
+    TwoLevelConfig cfg = tl_config();
+    cfg.class_quantum = {us(0.5)};
+    const double rate = mrps(8);
+
+    const SimResult off = run_two_level(cfg, *dist, rate);
+    cfg.deficit_clamp = us(4);
+    const SimResult on = run_two_level(cfg, *dist, rate);
+    ASSERT_FALSE(off.saturated);
+    ASSERT_FALSE(on.saturated);
+    ASSERT_EQ(off.class_effective_quantum.size(), 1u);
+    ASSERT_EQ(on.class_effective_quantum.size(), 1u);
+    EXPECT_GT(on.class_effective_quantum[0],
+              off.class_effective_quantum[0])
+        << "deficit credit should lengthen the mean granted slice";
+    // Both runs drain the same arrival sequence (same seed, no drops).
+    EXPECT_EQ(on.completed, off.completed);
+    EXPECT_EQ(off.starvation_promotions, 0u);
+    EXPECT_EQ(on.starvation_promotions, 0u) << "no second class to skip";
+}
+
+TEST(TwoLevel, StarvationGuardPromotesStarvedClassUnderLas)
+{
+    // LAS starves attained long jobs behind fresh shorts. With the
+    // guard armed the mirror must record forced promotions; with the
+    // threshold at 0 (disabled, the byte-identical default) it must
+    // record none.
+    auto dist = workload_table::extreme_bimodal();
+    TwoLevelConfig cfg = tl_config();
+    cfg.core_policy = CorePolicy::Las;
+    cfg.class_quantum = {us(2), us(2)};
+    // High enough load that runqs stay occupied: consecutive short
+    // grants can then accumulate against a queued long.
+    const double rate = mrps(4.5);
+
+    const SimResult off = run_two_level(cfg, *dist, rate);
+    EXPECT_EQ(off.starvation_promotions, 0u);
+    cfg.starvation_promote_after = 4;
+    const SimResult on = run_two_level(cfg, *dist, rate);
+    ASSERT_FALSE(on.saturated);
+    EXPECT_GT(on.starvation_promotions, 0u)
+        << "no promotions despite LAS flood and threshold 4";
+    EXPECT_GT(on.by_class("Long").completed, 0u);
+}
+
+TEST(TwoLevel, PerClassEffectiveQuantaTrackConfiguredOrdering)
+{
+    // {2us, 0.5us} quanta on the high bimodal: shorts (1us service)
+    // complete inside one 2us budget, longs are sliced at 0.5us, so
+    // the recorded mean slices must preserve the configured ordering.
+    auto dist = workload_table::high_bimodal();
+    TwoLevelConfig cfg = tl_config();
+    cfg.class_quantum = {us(2), us(0.5)};
+    cfg.deficit_clamp = us(8);
+    cfg.starvation_promote_after = 128;
+    const SimResult r = run_two_level(cfg, *dist, mrps(0.3));
+    ASSERT_FALSE(r.saturated);
+    ASSERT_EQ(r.class_effective_quantum.size(), 2u);
+    EXPECT_GT(r.class_effective_quantum[0], 0.0);
+    EXPECT_GT(r.class_effective_quantum[1], 0.0);
+    EXPECT_GT(r.class_effective_quantum[0], r.class_effective_quantum[1]);
+}
+
 TEST(TwoLevel, DeterministicAcrossRuns)
 {
     auto dist = workload_table::high_bimodal();

@@ -18,9 +18,10 @@ grouped before/after Mrps bar chart plus a speedup series;
 event_queue_hold rows (BENCH_sim.json) become legacy-vs-new events/sec
 bars over queue size plus the per-bench figure-suite speedup chart;
 a scenarios document (BENCH_scenarios.json) becomes baseline-vs-bursty
-p999 bars plus the fan-out sojourn curves; a compiler document
-(BENCH_compiler.json) becomes TQ-vs-TQopt probe-count and proven-bound
-bar charts.
+p999 bars plus the fan-out sojourn curves; a quanta document
+(BENCH_quanta.json) becomes the fixed-quantum sweep with per-class and
+adaptive reference lines; a compiler document (BENCH_compiler.json)
+becomes TQ-vs-TQopt probe-count and proven-bound bar charts.
 
 Usage:
     build/bench/fig01_quantum_slowdown | tools/plot_bench.py -o fig01.png
@@ -277,6 +278,44 @@ def plot_scenarios_json(path, output):
     print(f"wrote {output}")
 
 
+def plot_quanta_json(path, output):
+    """Render BENCH_quanta.json: per workload, the fixed-quantum sweep
+    of short-class p999 slowdown with the per-class and adaptive arms
+    overlaid as horizontal reference lines."""
+    with open(path) as f:
+        data = json.load(f)
+    loads = data["workloads"]
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(1, len(loads), figsize=(6 * len(loads), 4.5),
+                             squeeze=False)
+    for ax, (name, w) in zip(axes[0], sorted(loads.items())):
+        fixed = [r for r in w["fixed"] if not r["saturated"]]
+        ax.plot([r["quantum_us"] for r in fixed],
+                [r["short_p999_slowdown"] for r in fixed], marker="o",
+                label="fixed quantum")
+        for key, style in (("per_class", "--"), ("adaptive", ":")):
+            arm = w[key]
+            if not arm["saturated"]:
+                ax.axhline(arm["short_p999_slowdown"], linestyle=style,
+                           alpha=0.8,
+                           label=f'{key} ({arm["quanta_us"]}us)')
+        ax.set_xscale("log")
+        ax.set_xlabel("fixed quantum (us)")
+        ax.set_ylabel(f'{w["short_class"]} p999 slowdown')
+        ax.set_title(f'{name} @ {w["rate_mrps"]} Mrps', fontsize=9)
+        ax.legend(fontsize=8)
+        ax.grid(True, alpha=0.3)
+
+    fig.tight_layout()
+    fig.savefig(output, dpi=130)
+    print(f"wrote {output}")
+
+
 def plot_compiler_json(path, output):
     """Render BENCH_compiler.json: per-workload TQ-vs-TQopt probe counts
     and proven bounds from the verify-guided placement optimizer."""
@@ -337,6 +376,8 @@ def main():
             keys = json.load(f)
         if "scenarios" in keys:
             plot_scenarios_json(args.input, args.output)
+        elif "workloads" in keys:
+            plot_quanta_json(args.input, args.output)
         elif "per_workload" in keys:
             plot_compiler_json(args.input, args.output)
         elif "event_queue_hold" in keys:
